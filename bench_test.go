@@ -1,0 +1,266 @@
+// Package swarmfuzz_bench regenerates each table and figure of the
+// paper's evaluation as a testing.B benchmark. The benchmarks run
+// heavily reduced campaigns (one or two missions per configuration) so
+// the whole suite finishes in minutes; use cmd/experiments for
+// full-fidelity reproductions. Key scientific outputs are attached as
+// custom benchmark metrics (success rate, iterations) so `go test
+// -bench` output doubles as a smoke reproduction.
+package swarmfuzz_bench
+
+import (
+	"testing"
+
+	"swarmfuzz/internal/experiments"
+	"swarmfuzz/internal/flock"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/graph"
+	"swarmfuzz/internal/metrics"
+	"swarmfuzz/internal/opt"
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/svg"
+)
+
+// benchConfig returns a reduced campaign configuration sized for
+// benchmarks.
+func benchConfig(missions int) experiments.Config {
+	cfg := experiments.DefaultConfig(missions)
+	cfg.SwarmSizes = []int{5}
+	cfg.SpoofDistances = []float64{5, 10}
+	return cfg
+}
+
+// BenchmarkTable1SuccessRates regenerates Table I (success rates of
+// SwarmFuzz across swarm configurations) on a reduced grid.
+func BenchmarkTable1SuccessRates(b *testing.B) {
+	cfg := benchConfig(2)
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Grid(cfg, fuzz.SwarmFuzz{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, found := 0, 0
+		for _, c := range cells {
+			for _, o := range c.Outcomes {
+				total++
+				if o.Found {
+					found++
+				}
+			}
+		}
+		b.ReportMetric(100*float64(found)/float64(total), "success%")
+	}
+}
+
+// BenchmarkTable2SearchIterations regenerates Table II (average search
+// iterations taken by SwarmFuzz to find SPVs).
+func BenchmarkTable2SearchIterations(b *testing.B) {
+	cfg := benchConfig(2)
+	for i := 0; i < b.N; i++ {
+		cell, err := experiments.RunCampaign(cfg, fuzz.SwarmFuzz{}, 5, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if iters := cell.AvgIterations(); iters == iters { // skip NaN
+			b.ReportMetric(iters, "iters")
+		}
+	}
+}
+
+// BenchmarkTable3Ablation regenerates Table III (SwarmFuzz vs R_Fuzz,
+// G_Fuzz, S_Fuzz on 5 drones / 10 m).
+func BenchmarkTable3Ablation(b *testing.B) {
+	cfg := benchConfig(1)
+	fuzzers := []fuzz.Fuzzer{fuzz.SwarmFuzz{}, fuzz.RFuzz{}, fuzz.GFuzz{}, fuzz.SFuzz{}}
+	for i := 0; i < b.N; i++ {
+		for _, f := range fuzzers {
+			if _, err := experiments.RunCampaign(cfg, f, 5, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Convexity regenerates the Fig. 5(e) objective sweep:
+// the victim-obstacle distance as a function of the spoofing duration.
+func BenchmarkFig5Convexity(b *testing.B) {
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(5, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ys := opt.Sweep1D(func(dt float64) float64 {
+			plan := &gps.SpoofPlan{Target: 4, Start: 45, Duration: dt, Direction: gps.Left, Distance: 10}
+			res, err := sim.Run(mission, sim.RunOptions{Controller: ctrl, Spoof: plan})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.MinClearance[3]
+		}, 2, 26, 9)
+		b.ReportMetric(float64(opt.ConvexityViolations(ys, 0.3)), "convexity-violations")
+	}
+}
+
+// BenchmarkFig6CumulativeSuccess regenerates Fig. 6(a–c): cumulative
+// success rate bucketed by VDO.
+func BenchmarkFig6CumulativeSuccess(b *testing.B) {
+	cfg := benchConfig(2)
+	for i := 0; i < b.N; i++ {
+		cell, err := experiments.RunCampaign(cfg, fuzz.SwarmFuzz{}, 5, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ths := experiments.SortedVDOThresholds(cell)
+		rates := metrics.CumulativeSuccessRate(cell.VDOs(), cell.Successes(), ths)
+		if len(rates) != len(ths) {
+			b.Fatal("rate/threshold length mismatch")
+		}
+	}
+}
+
+// BenchmarkFig6VDOCDF regenerates Fig. 6(d): the empirical CDF of the
+// VDO per swarm size, which only needs clean runs.
+func BenchmarkFig6VDOCDF(b *testing.B) {
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{5, 10, 15} {
+			var vdos []float64
+			for seed := uint64(1); seed <= 5; seed++ {
+				m, err := sim.NewMission(sim.DefaultMissionConfig(n, seed))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(m, sim.RunOptions{Controller: ctrl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				v, _ := metrics.VDO(res.MinClearance)
+				vdos = append(vdos, v)
+			}
+			cdf := metrics.CDF(vdos, metrics.Linspace(0, 12, 13))
+			if cdf[len(cdf)-1] == 0 {
+				b.Fatal("degenerate CDF")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7SpoofParams regenerates Fig. 7: the distribution of the
+// spoofing parameters found by SwarmFuzz.
+func BenchmarkFig7SpoofParams(b *testing.B) {
+	cfg := benchConfig(2)
+	for i := 0; i < b.N; i++ {
+		cell, err := experiments.RunCampaign(cfg, fuzz.SwarmFuzz{}, 5, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		starts, durs := cell.FoundParams()
+		if len(starts) > 0 {
+			b.ReportMetric(metrics.Mean(starts), "ts_mean_s")
+			b.ReportMetric(metrics.Mean(durs), "dt_mean_s")
+		}
+	}
+}
+
+// --- micro-benchmarks for the substrates ---
+
+// BenchmarkMissionStep measures the cost of one full mission
+// simulation (the unit of every fuzzing iteration).
+func BenchmarkMissionStep(b *testing.B) {
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{5, 10, 15} {
+		b.Run(benchName(n), func(b *testing.B) {
+			mission, err := sim.NewMission(sim.DefaultMissionConfig(n, 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(mission, sim.RunOptions{Controller: ctrl}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	return map[int]string{5: "5drones", 10: "10drones", 15: "15drones"}[n]
+}
+
+// BenchmarkSVGBuild measures Swarm Vulnerability Graph construction.
+func BenchmarkSVGBuild(b *testing.B) {
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean, err := sim.Run(mission, sim.RunOptions{Controller: ctrl, RecordTrajectory: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := svg.ClosestSnapshot(clean.Trajectory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svg.Build(ctrl, &mission.World, mission.Axis, snap, gps.Right, svg.DefaultConfig(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageRank measures centrality analysis on a dense SVG-sized
+// graph.
+func BenchmarkPageRank(b *testing.B) {
+	src := rng.New(1)
+	g := graph.NewDigraph(15)
+	for u := 0; u < 15; u++ {
+		for v := 0; v < 15; v++ {
+			if u != v && src.Bool(0.4) {
+				if err := g.SetEdge(u, v, src.Uniform(0.1, 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.PageRank(g, graph.DefaultPageRankOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGradientDescent measures the optimizer on a synthetic bowl
+// (no simulation), isolating search overhead.
+func BenchmarkGradientDescent(b *testing.B) {
+	f := func(ts, dt float64) float64 {
+		return 1 + 0.05*((ts-30)*(ts-30)+(dt-12)*(dt-12))
+	}
+	opts := opt.DefaultOptions()
+	opts.MaxIters = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Minimize(f, 5, 5, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation (§V). Each experiment prints its result as a text
+// table or ASCII plot; -csv writes the raw series alongside.
+//
+// Usage:
+//
+//	experiments -exp table1 -missions 100
+//	experiments -exp table3 -missions 50
+//	experiments -exp all -missions 20
+//
+// The -missions flag trades fidelity for runtime; the paper uses 100
+// missions per configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swarmfuzz/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|all")
+		missions = fs.Int("missions", 30, "missions per configuration (paper: 100)")
+		csvDir   = fs.String("csv", "", "directory to write raw CSV series into (optional)")
+		seed     = fs.Uint64("seed", 1, "base mission seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.DefaultConfig(*missions)
+	cfg.BaseSeed = *seed
+
+	runner := experiments.NewRunner(cfg, os.Stdout, *csvDir)
+	switch strings.ToLower(*exp) {
+	case "table1":
+		return runner.Table1()
+	case "table2":
+		return runner.Table2()
+	case "table3":
+		return runner.Table3()
+	case "fig5":
+		return runner.Fig5()
+	case "fig6":
+		return runner.Fig6()
+	case "fig7":
+		return runner.Fig7()
+	case "all":
+		return runner.All()
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}

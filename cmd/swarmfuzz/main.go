@@ -1,0 +1,97 @@
+// Command swarmfuzz runs the SwarmFuzz fuzzer (or one of its ablation
+// variants) against one mission and prints the SPVs it finds.
+//
+// Usage:
+//
+//	swarmfuzz -n 5 -seed 3 -dist 10
+//	swarmfuzz -n 10 -seed 7 -dist 5 -fuzzer r_fuzz
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swarmfuzz/internal/flock"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "swarmfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("swarmfuzz", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 5, "swarm size")
+		seed    = fs.Uint64("seed", 1, "mission seed")
+		dist    = fs.Float64("dist", 10, "GPS spoofing deviation d (m)")
+		name    = fs.String("fuzzer", "swarmfuzz", "fuzzer: swarmfuzz|r_fuzz|g_fuzz|s_fuzz")
+		maxIter = fs.Int("iters", 20, "max search iterations per seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fuzzer, err := fuzzerByName(*name)
+	if err != nil {
+		return err
+	}
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		return err
+	}
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(*n, *seed))
+	if err != nil {
+		return err
+	}
+	opts := fuzz.DefaultOptions()
+	opts.MaxIterPerSeed = *maxIter
+
+	rep, err := fuzzer.Fuzz(fuzz.Input{
+		Mission:       mission,
+		Controller:    ctrl,
+		SpoofDistance: *dist,
+	}, opts)
+	if errors.Is(err, fuzz.ErrUnsafeMission) {
+		fmt.Println("mission fails its initial no-attack test; pick another seed")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s on %d drones, seed %d, d=%.0fm\n", rep.Fuzzer, *n, *seed, *dist)
+	fmt.Printf("clean run: duration %.1fs, VDO %.2fm\n", rep.Clean.Duration, rep.VDO)
+	fmt.Printf("seeds tried: %d, search iterations: %d, simulations: %d\n",
+		rep.SeedsTried, rep.IterationsToFind, rep.SimRuns)
+	if !rep.Found {
+		fmt.Println("no SPV found: the mission is resilient under this budget")
+		return nil
+	}
+	for _, f := range rep.Findings {
+		fmt.Printf("FOUND %s\n", f)
+	}
+	return nil
+}
+
+func fuzzerByName(name string) (fuzz.Fuzzer, error) {
+	switch strings.ToLower(name) {
+	case "swarmfuzz":
+		return fuzz.SwarmFuzz{}, nil
+	case "r_fuzz", "rfuzz":
+		return fuzz.RFuzz{}, nil
+	case "g_fuzz", "gfuzz":
+		return fuzz.GFuzz{}, nil
+	case "s_fuzz", "sfuzz":
+		return fuzz.SFuzz{}, nil
+	default:
+		return nil, fmt.Errorf("unknown fuzzer %q", name)
+	}
+}

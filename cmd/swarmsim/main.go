@@ -1,0 +1,100 @@
+// Command swarmsim runs a single swarm mission — optionally under a GPS
+// spoofing attack — and prints a summary: completion, duration,
+// per-drone minimum obstacle clearance (VDO per drone) and any
+// collisions. It is the quickest way to inspect what the simulator and
+// the flocking controller do for a given seed.
+//
+// Usage:
+//
+//	swarmsim -n 5 -seed 42
+//	swarmsim -n 5 -seed 42 -target 2 -start 50 -dur 12 -dir right -dist 10
+//	swarmsim -n 5 -seed 42 -traj traj.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swarmfuzz/internal/flock"
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/report"
+	"swarmfuzz/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "swarmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("swarmsim", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 5, "swarm size")
+		seed    = fs.Uint64("seed", 1, "mission seed")
+		target  = fs.Int("target", -1, "spoof target drone (-1 disables the attack)")
+		start   = fs.Float64("start", 0, "spoofing start time t_s (s)")
+		dur     = fs.Float64("dur", 0, "spoofing duration Δt (s)")
+		dirStr  = fs.String("dir", "right", "spoofing direction: right|left")
+		dist    = fs.Float64("dist", 10, "spoofing distance d (m)")
+		trajCSV = fs.String("traj", "", "write the trajectory to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		return err
+	}
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(*n, *seed))
+	if err != nil {
+		return err
+	}
+
+	opts := sim.RunOptions{Controller: ctrl, RecordTrajectory: true}
+	if *target >= 0 {
+		dir := gps.Right
+		if strings.EqualFold(*dirStr, "left") {
+			dir = gps.Left
+		}
+		opts.Spoof = &gps.SpoofPlan{
+			Target: *target, Start: *start, Duration: *dur,
+			Direction: dir, Distance: *dist,
+		}
+		fmt.Printf("attack: %s\n", opts.Spoof)
+	}
+
+	res, err := sim.Run(mission, opts)
+	if err != nil {
+		return err
+	}
+
+	ob := mission.Obstacle()
+	fmt.Printf("mission: %d drones, seed %d, obstacle at (%.1f, %.1f) r=%.1f\n",
+		*n, *seed, ob.Center.X, ob.Center.Y, ob.Radius)
+	fmt.Printf("completed=%v duration=%.1fs\n", res.Completed, res.Duration)
+	for i, c := range res.MinClearance {
+		fmt.Printf("  drone %2d: min obstacle clearance %7.2f m\n", i, c)
+	}
+	for _, c := range res.Collisions {
+		fmt.Printf("  COLLISION: drone %d with %s %d at t=%.1fs pos=%s\n",
+			c.Drone, c.Kind, c.Other, c.Time, c.Pos)
+	}
+
+	if *trajCSV != "" {
+		f, err := os.Create(*trajCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteTrajectoryCSV(f, res.Trajectory); err != nil {
+			return err
+		}
+		fmt.Printf("trajectory written to %s\n", *trajCSV)
+	}
+	return nil
+}

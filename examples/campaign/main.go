@@ -1,0 +1,56 @@
+// Campaign runs a reduced version of the paper's §V-B evaluation: a
+// SwarmFuzz campaign over a grid of swarm sizes and spoofing
+// distances, printing per-configuration success rates (Table I), the
+// average iterations to find SPVs (Table II), and the VDO statistics
+// underlying Fig. 6.
+//
+// Pass a mission count as the only argument to trade fidelity for
+// runtime (default 10; the paper uses 100).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"swarmfuzz/internal/experiments"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/metrics"
+)
+
+func main() {
+	missions := 10
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil || n < 1 {
+			log.Fatalf("bad mission count %q", os.Args[1])
+		}
+		missions = n
+	}
+
+	cfg := experiments.DefaultConfig(missions)
+	fmt.Printf("fuzzing %d missions per configuration (paper: 100)\n\n", missions)
+
+	cells, err := experiments.Grid(cfg, fuzz.SwarmFuzz{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("success rates (Table I analogue):")
+	for _, c := range cells {
+		fmt.Printf("  %2d drones, %2.0fm spoofing: %5.1f%%  (avg iters to find: %.1f)\n",
+			c.SwarmSize, c.SpoofDistance, 100*c.SuccessRate(), c.AvgIterations())
+	}
+
+	fmt.Println("\nVDO distribution per swarm size (Fig. 6d analogue):")
+	for _, n := range cfg.SwarmSizes {
+		cell := experiments.CellFor(cells, n, cfg.SpoofDistances[0])
+		b := metrics.Box(cell.VDOs())
+		fmt.Printf("  %2d drones: median %.2fm, q1 %.2fm, q3 %.2fm (n=%d)\n",
+			n, b.Median, b.Q1, b.Q3, b.N)
+	}
+
+	fmt.Println("\nexpected shape: success grows with spoofing distance and swarm size;")
+	fmt.Println("VDO shrinks as the swarm grows (denser swarms pass closer to the obstacle).")
+}

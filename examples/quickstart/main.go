@@ -1,0 +1,55 @@
+// Quickstart: fuzz one 5-drone delivery mission with SwarmFuzz and
+// print what it finds. This is the smallest end-to-end use of the
+// public pipeline: mission → controller → fuzzer → report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swarmfuzz/internal/flock"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/sim"
+)
+
+func main() {
+	// The swarm control algorithm under test: the Vásárhelyi flocking
+	// model ("Vicsek algorithm") with the repository's tuned gains.
+	controller, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 5-drone point-to-point delivery mission, fully determined by
+	// its seed: random start within 0–50 m, a 233.5 m leg, and one
+	// obstacle near the half-way mark.
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(5, 12))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fuzz it: SwarmFuzz runs the clean initial test, builds the Swarm
+	// Vulnerability Graph, schedules target–victim seeds by PageRank
+	// influence and VDO, and gradient-searches the spoofing window.
+	report, err := fuzz.SwarmFuzz{}.Fuzz(fuzz.Input{
+		Mission:       mission,
+		Controller:    controller,
+		SpoofDistance: 10, // metres of GPS deviation available to the attacker
+	}, fuzz.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clean mission: %.1fs, VDO %.2fm\n", report.Clean.Duration, report.VDO)
+	fmt.Printf("fuzzing: %d seeds, %d iterations, %d simulations\n",
+		report.SeedsTried, report.IterationsToFind, report.SimRuns)
+	if !report.Found {
+		fmt.Println("mission is resilient to SPVs under this budget")
+		return
+	}
+	for _, f := range report.Findings {
+		fmt.Printf("vulnerability: %s\n", f)
+		fmt.Println("spoof the target's GPS with these parameters and the victim")
+		fmt.Println("drone crashes into the obstacle — without the target touching it.")
+	}
+}

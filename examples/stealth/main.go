@@ -1,0 +1,54 @@
+// Stealth demonstrates why the paper's 5–10 m spoofing attacks evade
+// single-drone GPS defenses (§II, §VII): an innovation-based detector
+// tight enough to catch them false-alarms constantly on ordinary GPS
+// noise, so deployed defenses use thresholds that let the attack
+// through. The example sweeps detector thresholds against a spoofed
+// GPS trace and prints the trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swarmfuzz/internal/defense"
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/vec"
+)
+
+func main() {
+	// Build a realistic GPS trace: a drone cruising north at 2 m/s
+	// with 1.2 m-σ receiver noise, spoofed by a constant 10 m offset
+	// during t ∈ [20s, 40s] — the paper's attack profile.
+	src := rng.New(3)
+	var fixes []gps.Reading
+	var velocities []vec.Vec3
+	vel := vec.New(0, 2, 0)
+	for i := 0; i < 600; i++ {
+		tm := float64(i) * 0.1
+		fix := gps.Reading{
+			Position: vec.New(src.Gaussian(0, 1.2), 2*tm+src.Gaussian(0, 1.2), 10),
+			Time:     tm,
+		}
+		if tm >= 20 && tm < 40 {
+			fix.Position = fix.Position.Add(vec.New(10, 0, 0))
+			fix.Spoofed = true
+		}
+		fixes = append(fixes, fix)
+		velocities = append(velocities, vel)
+	}
+
+	fmt.Println("threshold  caught-spoof  false-alarm-rate")
+	for _, th := range []float64{1, 2, 4, 8, 12, 16} {
+		ev, err := defense.Evaluate(th, fixes, velocities)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0fm  %12v  %15.1f%%\n", th, ev.TruePositive, 100*ev.FalseAlarmRate())
+	}
+	fmt.Println()
+	fmt.Println("tight thresholds catch the spoof but drown in false alarms on")
+	fmt.Println("standard GPS noise; deployable thresholds (>10m) miss the attack —")
+	fmt.Println("which is why SPVs must be found by fuzzing the swarm, not by")
+	fmt.Println("per-drone anomaly detection.")
+}

@@ -1,0 +1,3 @@
+module swarmfuzz
+
+go 1.22

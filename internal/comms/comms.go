@@ -1,0 +1,184 @@
+// Package comms models the inter-drone communication system of a
+// distributed swarm (step 2 of the periodic loop in Fig. 1 of the
+// paper): each tick, every member broadcasts its perceived physical
+// state, and receives the states of the other members.
+//
+// The paper — like SwarmLab — assumes perfect, instantaneous state
+// exchange, which PerfectBus implements. LossyBus and DelayedBus model
+// degraded links (dropped or late packets, with receivers acting on the
+// last state they heard), and are used by failure-injection tests and
+// the communication-sensitivity extension experiments. All buses are
+// deterministic given their construction parameters.
+package comms
+
+import (
+	"fmt"
+
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/vec"
+)
+
+// State is the physical state a swarm member broadcasts: its perceived
+// (GPS) position and current velocity. Note Position is the *perceived*
+// position — under a GPS spoofing attack the broadcast carries the
+// spoofed value, which is exactly how SPVs propagate.
+type State struct {
+	// ID is the broadcasting drone's index within the swarm.
+	ID int
+	// Position is the broadcast position in metres (ENU).
+	Position vec.Vec3
+	// Velocity is the broadcast velocity in m/s.
+	Velocity vec.Vec3
+	// Time is the mission time of the broadcast in seconds.
+	Time float64
+}
+
+// Bus delivers one tick of state exchange. Exchange takes the states
+// published this tick — one per *active* drone; crashed drones stop
+// broadcasting, so IDs need not be contiguous — and returns, for each
+// publisher (positionally aligned with the input), the neighbour
+// states it observes this tick. Senders and receivers are matched by
+// State.ID. The returned slices never include the receiver's own state.
+//
+// Implementations must be deterministic: the same sequence of Exchange
+// calls on a bus constructed with the same parameters yields the same
+// observations.
+type Bus interface {
+	Exchange(published []State) [][]State
+}
+
+// PerfectBus delivers every broadcast instantly and reliably. It is the
+// paper's communication model.
+type PerfectBus struct{}
+
+var _ Bus = (*PerfectBus)(nil)
+
+// NewPerfectBus returns a PerfectBus.
+func NewPerfectBus() *PerfectBus { return &PerfectBus{} }
+
+// Exchange implements Bus.
+func (b *PerfectBus) Exchange(published []State) [][]State {
+	n := len(published)
+	out := make([][]State, n)
+	for i := 0; i < n; i++ {
+		obs := make([]State, 0, n-1)
+		for j := 0; j < n; j++ {
+			if published[j].ID != published[i].ID {
+				obs = append(obs, published[j])
+			}
+		}
+		out[i] = obs
+	}
+	return out
+}
+
+// LossyBus drops each (sender, receiver) packet independently with
+// probability DropProb. When a packet is dropped the receiver keeps
+// acting on the last state it heard from that sender; before the first
+// successful reception from a sender, that sender is simply invisible.
+type LossyBus struct {
+	dropProb float64
+	src      *rng.Source
+	// last maps receiver ID → sender ID → most recently delivered state.
+	last map[int]map[int]State
+}
+
+var _ Bus = (*LossyBus)(nil)
+
+// NewLossyBus returns a LossyBus with the given drop probability,
+// drawing drop decisions from the rng stream derived from seed.
+func NewLossyBus(dropProb float64, seed uint64) (*LossyBus, error) {
+	if dropProb < 0 || dropProb > 1 {
+		return nil, fmt.Errorf("comms: drop probability %v outside [0,1]", dropProb)
+	}
+	return &LossyBus{dropProb: dropProb, src: rng.Derive(seed, "comms/lossy")}, nil
+}
+
+// Exchange implements Bus. Only currently-broadcasting senders are
+// delivered: a dropped packet falls back to the last heard state of
+// that sender, but a sender absent from published (e.g. crashed)
+// disappears from everyone's observations immediately.
+func (b *LossyBus) Exchange(published []State) [][]State {
+	if b.last == nil {
+		b.last = make(map[int]map[int]State)
+	}
+	n := len(published)
+	out := make([][]State, n)
+	for i := 0; i < n; i++ {
+		ri := published[i].ID
+		hist := b.last[ri]
+		if hist == nil {
+			hist = make(map[int]State, n-1)
+			b.last[ri] = hist
+		}
+		obs := make([]State, 0, n-1)
+		for j := 0; j < n; j++ {
+			sid := published[j].ID
+			if sid == ri {
+				continue
+			}
+			if !b.src.Bool(b.dropProb) {
+				hist[sid] = published[j]
+			}
+			if s, ok := hist[sid]; ok {
+				obs = append(obs, s)
+			}
+		}
+		out[i] = obs
+	}
+	return out
+}
+
+// DelayedBus delivers every broadcast after a fixed number of ticks.
+// With Delay == 0 it behaves like PerfectBus. During the first Delay
+// ticks, receivers observe the oldest published states available.
+type DelayedBus struct {
+	delay   int
+	history [][]State
+}
+
+var _ Bus = (*DelayedBus)(nil)
+
+// NewDelayedBus returns a DelayedBus delivering states delay ticks late.
+func NewDelayedBus(delay int) (*DelayedBus, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("comms: negative delay %d", delay)
+	}
+	return &DelayedBus{delay: delay}, nil
+}
+
+// Exchange implements Bus.
+func (b *DelayedBus) Exchange(published []State) [][]State {
+	snapshot := make([]State, len(published))
+	copy(snapshot, published)
+	b.history = append(b.history, snapshot)
+
+	// Observation tick: delay ticks ago, clamped to the oldest we have.
+	idx := len(b.history) - 1 - b.delay
+	if idx < 0 {
+		idx = 0
+	}
+	// Trim history we will never need again.
+	if drop := len(b.history) - 1 - b.delay; drop > 0 {
+		b.history = b.history[drop:]
+		idx -= drop
+		if idx < 0 {
+			idx = 0
+		}
+	}
+	src := b.history[idx]
+
+	n := len(published)
+	out := make([][]State, n)
+	for i := 0; i < n; i++ {
+		ri := published[i].ID
+		obs := make([]State, 0, n-1)
+		for j := 0; j < len(src); j++ {
+			if src[j].ID != ri {
+				obs = append(obs, src[j])
+			}
+		}
+		out[i] = obs
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package comms
+
+import (
+	"fmt"
+)
+
+// RangeBus delivers broadcasts only between drones within a radio
+// range of each other, based on the broadcast (perceived) positions.
+// SwarmLab — and the paper — assume full connectivity; the range bus
+// is the realistic-radio extension used to study how SPV propagation
+// depends on who can hear whom.
+type RangeBus struct {
+	radius float64
+}
+
+var _ Bus = (*RangeBus)(nil)
+
+// NewRangeBus returns a RangeBus with the given radio radius in metres.
+func NewRangeBus(radius float64) (*RangeBus, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("comms: radio radius %v must be positive", radius)
+	}
+	return &RangeBus{radius: radius}, nil
+}
+
+// Radius returns the radio radius.
+func (b *RangeBus) Radius() float64 { return b.radius }
+
+// Exchange implements Bus. Reachability is judged on broadcast
+// positions: a spoofed drone reports a false position but transmits
+// from its true one; using the broadcast position models receivers
+// that filter neighbours by claimed distance, which is what
+// GPS-position-based neighbour tables do.
+func (b *RangeBus) Exchange(published []State) [][]State {
+	n := len(published)
+	out := make([][]State, n)
+	for i := 0; i < n; i++ {
+		obs := make([]State, 0, n-1)
+		for j := 0; j < n; j++ {
+			if published[j].ID == published[i].ID {
+				continue
+			}
+			if published[i].Position.Dist(published[j].Position) <= b.radius {
+				obs = append(obs, published[j])
+			}
+		}
+		out[i] = obs
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package comms
+
+import (
+	"testing"
+
+	"swarmfuzz/internal/vec"
+)
+
+func TestNewRangeBusValidation(t *testing.T) {
+	if _, err := NewRangeBus(0); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := NewRangeBus(-5); err == nil {
+		t.Error("negative radius accepted")
+	}
+	b, err := NewRangeBus(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Radius() != 30 {
+		t.Errorf("Radius = %v", b.Radius())
+	}
+}
+
+func TestRangeBusFiltersByDistance(t *testing.T) {
+	b, err := NewRangeBus(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []State{
+		{ID: 0, Position: vec.New(0, 0, 0)},
+		{ID: 1, Position: vec.New(5, 0, 0)},  // within range of 0
+		{ID: 2, Position: vec.New(50, 0, 0)}, // out of range of 0 and 1
+		{ID: 3, Position: vec.New(55, 0, 0)}, // within range of 2
+	}
+	obs := b.Exchange(states)
+	if len(obs[0]) != 1 || obs[0][0].ID != 1 {
+		t.Errorf("drone 0 observed %v, want only drone 1", obs[0])
+	}
+	if len(obs[2]) != 1 || obs[2][0].ID != 3 {
+		t.Errorf("drone 2 observed %v, want only drone 3", obs[2])
+	}
+}
+
+func TestRangeBusSymmetricWhenHonest(t *testing.T) {
+	b, err := NewRangeBus(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []State{
+		{ID: 0, Position: vec.New(0, 0, 0)},
+		{ID: 1, Position: vec.New(15, 0, 0)},
+	}
+	obs := b.Exchange(states)
+	if len(obs[0]) != 1 || len(obs[1]) != 1 {
+		t.Errorf("honest in-range pair not mutually connected: %v", obs)
+	}
+}
+
+func TestRangeBusSpoofedPositionChangesTopology(t *testing.T) {
+	// A drone broadcasting a spoofed position can fall out of (or
+	// into) its neighbours' tables — SPV propagation through the
+	// neighbour-selection layer.
+	b, err := NewRangeBus(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := []State{
+		{ID: 0, Position: vec.New(0, 0, 0)},
+		{ID: 1, Position: vec.New(8, 0, 0)},
+	}
+	spoofed := []State{
+		{ID: 0, Position: vec.New(0, 0, 0)},
+		{ID: 1, Position: vec.New(20, 0, 0)}, // broadcast pushed out of range
+	}
+	if got := b.Exchange(honest); len(got[0]) != 1 {
+		t.Fatal("honest pair should be connected")
+	}
+	if got := b.Exchange(spoofed); len(got[0]) != 0 {
+		t.Errorf("spoofed broadcast should disconnect the pair, observed %v", got[0])
+	}
+}
+
+func TestRangeBusNoSelfDelivery(t *testing.T) {
+	b, err := NewRangeBus(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := b.Exchange(publish(4, 0))
+	for i, o := range obs {
+		for _, s := range o {
+			if s.ID == i {
+				t.Fatalf("receiver %d observed itself", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package defense
+
+import (
+	"testing"
+
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/vec"
+)
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewDetector(-1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	d, err := NewDetector(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold() != 5 {
+		t.Errorf("Threshold = %v", d.Threshold())
+	}
+}
+
+func TestFirstObservationNeverFlagged(t *testing.T) {
+	d, err := NewDetector(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Observe(gps.Reading{Position: vec.New(1000, 0, 0)}, vec.Zero) {
+		t.Error("first observation flagged")
+	}
+}
+
+func TestCleanTrackNotFlagged(t *testing.T) {
+	d, err := NewDetector(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vel := vec.New(2, 0, 0)
+	for i := 0; i < 100; i++ {
+		tm := float64(i) * 0.1
+		fix := gps.Reading{Position: vec.New(2*tm, 0, 0), Time: tm}
+		if d.Observe(fix, vel) {
+			t.Fatalf("clean fix at t=%v flagged", tm)
+		}
+	}
+	if d.Alarms() != 0 || d.AlarmRate() != 0 {
+		t.Errorf("clean track produced alarms: %d", d.Alarms())
+	}
+	if d.Samples() != 100 {
+		t.Errorf("samples = %d", d.Samples())
+	}
+}
+
+func TestSpoofJumpFlagged(t *testing.T) {
+	d, err := NewDetector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vel := vec.New(2, 0, 0)
+	for i := 0; i < 10; i++ {
+		tm := float64(i) * 0.1
+		d.Observe(gps.Reading{Position: vec.New(2*tm, 0, 0), Time: tm}, vel)
+	}
+	// A 10 m instantaneous offset — well above threshold — must flag.
+	spoofed := gps.Reading{Position: vec.New(2*1.0+10, 0, 0), Time: 1.0, Spoofed: true}
+	if !d.Observe(spoofed, vel) {
+		t.Error("10m spoofing jump not flagged by a 2m-threshold detector")
+	}
+	if d.Alarms() != 1 {
+		t.Errorf("alarms = %d, want 1", d.Alarms())
+	}
+}
+
+func TestSmallSpoofEvadesHighThreshold(t *testing.T) {
+	// The paper's point: defenses with thresholds above ~10m (to
+	// tolerate the standard GPS offset) never flag a 5-10m spoof.
+	d, err := NewDetector(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vel := vec.New(2, 0, 0)
+	for i := 0; i < 10; i++ {
+		tm := float64(i) * 0.1
+		d.Observe(gps.Reading{Position: vec.New(2*tm, 0, 0), Time: tm}, vel)
+	}
+	spoofed := gps.Reading{Position: vec.New(2*1.0+10, 0, 0), Time: 1.0, Spoofed: true}
+	if d.Observe(spoofed, vel) {
+		t.Error("10m spoof flagged by a 12m-threshold detector")
+	}
+}
+
+func TestRejectedFixCoasts(t *testing.T) {
+	// After a flagged fix the estimate coasts on dead reckoning, so a
+	// persistent spoofing offset keeps triggering.
+	d, err := NewDetector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vel := vec.New(2, 0, 0)
+	for i := 0; i < 10; i++ {
+		tm := float64(i) * 0.1
+		d.Observe(gps.Reading{Position: vec.New(2*tm, 0, 0), Time: tm}, vel)
+	}
+	for i := 10; i < 20; i++ {
+		tm := float64(i) * 0.1
+		fix := gps.Reading{Position: vec.New(2*tm+10, 0, 0), Time: tm, Spoofed: true}
+		if !d.Observe(fix, vel) {
+			t.Fatalf("persistent offset fix at t=%v not flagged", tm)
+		}
+	}
+	if d.Alarms() != 10 {
+		t.Errorf("alarms = %d, want 10", d.Alarms())
+	}
+}
+
+func TestReset(t *testing.T) {
+	d, err := NewDetector(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(gps.Reading{Position: vec.Zero}, vec.Zero)
+	d.Observe(gps.Reading{Position: vec.New(50, 0, 0), Time: 1}, vec.Zero)
+	if d.Alarms() == 0 {
+		t.Fatal("setup failed: no alarm raised")
+	}
+	d.Reset()
+	if d.Alarms() != 0 || d.Samples() != 0 {
+		t.Errorf("Reset did not clear state: %d alarms, %d samples", d.Alarms(), d.Samples())
+	}
+	if d.Threshold() != 1 {
+		t.Error("Reset lost the threshold")
+	}
+}
+
+func TestEvaluateLengthMismatch(t *testing.T) {
+	_, err := Evaluate(1, make([]gps.Reading, 2), make([]vec.Vec3, 3))
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// noisyTrace generates a GPS trace with realistic noise, with a
+// constant spoofing offset injected during a window.
+func noisyTrace(spoofFrom, spoofTo int, offset float64) ([]gps.Reading, []vec.Vec3) {
+	src := rng.New(7)
+	var fixes []gps.Reading
+	var vels []vec.Vec3
+	vel := vec.New(2, 0, 0)
+	for i := 0; i < 200; i++ {
+		tm := float64(i) * 0.1
+		pos := vec.New(2*tm+src.Gaussian(0, 1.2), src.Gaussian(0, 1.2), 0)
+		fix := gps.Reading{Position: pos, Time: tm}
+		if i >= spoofFrom && i < spoofTo {
+			fix.Position = fix.Position.Add(vec.New(0, offset, 0))
+			fix.Spoofed = true
+		}
+		fixes = append(fixes, fix)
+		vels = append(vels, vel)
+	}
+	return fixes, vels
+}
+
+func TestTradeoffSmallSpoofVsFalseAlarms(t *testing.T) {
+	// The paper's core stealthiness claim as a property of this
+	// detector: any threshold low enough to catch a gradual 5m spoof
+	// on noisy GPS also raises false alarms on clean noise, and the
+	// practical high thresholds miss the spoof entirely.
+	fixes, vels := noisyTrace(100, 160, 5)
+
+	strict, err := Evaluate(1.5, fixes, vels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.FalseAlarms == 0 {
+		t.Error("1.5m threshold on 1.2m-σ GPS noise raised no false alarms")
+	}
+
+	lax, err := Evaluate(12, fixes, vels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lax.FalseAlarms != 0 {
+		t.Errorf("12m threshold false-alarmed %d times on standard noise", lax.FalseAlarms)
+	}
+	if lax.TruePositive {
+		// The 5m offset appears as a single 5m innovation jump, below
+		// the 12m gate: stealthy.
+		t.Error("12m threshold caught the 5m spoof — stealthiness claim violated")
+	}
+	if strict.SpoofedFixes == 0 || strict.CleanFixes == 0 {
+		t.Fatal("trace generation broken")
+	}
+}
+
+func TestEvaluationRates(t *testing.T) {
+	ev := Evaluation{FalseAlarms: 3, CleanFixes: 30}
+	if got := ev.FalseAlarmRate(); got != 0.1 {
+		t.Errorf("FalseAlarmRate = %v", got)
+	}
+	if got := (Evaluation{}).FalseAlarmRate(); got != 0 {
+		t.Errorf("empty FalseAlarmRate = %v", got)
+	}
+}

@@ -1,0 +1,262 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§V). Each experiment runs fuzzing campaigns over
+// randomly generated missions — exactly as the paper does: per swarm
+// configuration, sample missions, keep those whose initial no-attack
+// test succeeds, fuzz each one, and aggregate.
+//
+// The experiment entry points are pure functions returning typed
+// results; cmd/experiments and bench_test.go render them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"swarmfuzz/internal/flock"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/metrics"
+	"swarmfuzz/internal/sim"
+)
+
+// Config parameterises a campaign.
+type Config struct {
+	// SwarmSizes are the swarm sizes evaluated (paper: 5, 10, 15).
+	SwarmSizes []int
+	// SpoofDistances are the GPS spoofing deviations (paper: 5, 10).
+	SpoofDistances []float64
+	// Missions is the number of clean-safe missions fuzzed per
+	// configuration (paper: 100).
+	Missions int
+	// BaseSeed offsets the mission seed stream.
+	BaseSeed uint64
+	// Fuzz carries the fuzzer options.
+	Fuzz fuzz.Options
+	// Flock carries the swarm-control parameters under test.
+	Flock flock.Params
+	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the paper's evaluation campaign, scaled by
+// missions per configuration.
+func DefaultConfig(missions int) Config {
+	return Config{
+		SwarmSizes:     []int{5, 10, 15},
+		SpoofDistances: []float64{5, 10},
+		Missions:       missions,
+		BaseSeed:       1,
+		Fuzz:           fuzz.DefaultOptions(),
+		Flock:          flock.DefaultParams(),
+	}
+}
+
+// MissionOutcome is the fuzzing outcome for one mission.
+type MissionOutcome struct {
+	// Seed is the mission seed.
+	Seed uint64
+	// VDO is the clean run's victim distance to the obstacle.
+	VDO float64
+	// Found reports whether an SPV was discovered.
+	Found bool
+	// Iterations is the number of search iterations until the SPV was
+	// found (meaningful when Found).
+	Iterations int
+	// Start and Duration are the discovered spoofing parameters
+	// (meaningful when Found).
+	Start, Duration float64
+}
+
+// CampaignResult aggregates one (swarm size, spoof distance) cell.
+type CampaignResult struct {
+	// SwarmSize and SpoofDistance identify the configuration.
+	SwarmSize     int
+	SpoofDistance float64
+	// Outcomes holds one entry per clean-safe mission fuzzed.
+	Outcomes []MissionOutcome
+	// SkippedUnsafe counts sampled missions rejected by the initial
+	// no-attack test.
+	SkippedUnsafe int
+}
+
+// SuccessRate returns the fraction of missions with an SPV found.
+func (c *CampaignResult) SuccessRate() float64 {
+	hits := 0
+	for _, o := range c.Outcomes {
+		if o.Found {
+			hits++
+		}
+	}
+	return metrics.Rate(hits, len(c.Outcomes))
+}
+
+// AvgIterations returns the mean number of search iterations over the
+// missions where an SPV was found (Table II's metric).
+func (c *CampaignResult) AvgIterations() float64 {
+	var iters []float64
+	for _, o := range c.Outcomes {
+		if o.Found {
+			iters = append(iters, float64(o.Iterations))
+		}
+	}
+	return metrics.Mean(iters)
+}
+
+// VDOs returns the clean-run VDO of every fuzzed mission.
+func (c *CampaignResult) VDOs() []float64 {
+	out := make([]float64, len(c.Outcomes))
+	for i, o := range c.Outcomes {
+		out[i] = o.VDO
+	}
+	return out
+}
+
+// Successes returns, aligned with VDOs, whether each mission was
+// cracked.
+func (c *CampaignResult) Successes() []bool {
+	out := make([]bool, len(c.Outcomes))
+	for i, o := range c.Outcomes {
+		out[i] = o.Found
+	}
+	return out
+}
+
+// FoundParams returns the spoofing start times and durations of all
+// findings (Fig. 7's data).
+func (c *CampaignResult) FoundParams() (starts, durations []float64) {
+	for _, o := range c.Outcomes {
+		if o.Found {
+			starts = append(starts, o.Start)
+			durations = append(durations, o.Duration)
+		}
+	}
+	return starts, durations
+}
+
+// RunCampaign fuzzes cfg.Missions clean-safe missions of the given
+// configuration with the given fuzzer and returns the aggregated cell.
+// Mission seeds are drawn sequentially from the base seed; missions
+// whose initial test collides are counted in SkippedUnsafe and
+// replaced, mirroring SwarmFuzz's step-1 precondition.
+func RunCampaign(cfg Config, fuzzer fuzz.Fuzzer, swarmSize int, spoofDistance float64) (*CampaignResult, error) {
+	ctrl, err := flock.New(cfg.Flock)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	result := &CampaignResult{SwarmSize: swarmSize, SpoofDistance: spoofDistance}
+
+	// Missions are fuzzed in parallel; seeds are handed out
+	// sequentially and unsafe missions are skipped. To keep the
+	// outcome set deterministic regardless of scheduling, we first
+	// select the clean-safe seeds sequentially (cheap runs), then fan
+	// out the expensive fuzzing.
+	type job struct {
+		seed    uint64
+		mission *sim.Mission
+	}
+	var jobs []job
+	for seed := cfg.BaseSeed; len(jobs) < cfg.Missions; seed++ {
+		if seed-cfg.BaseSeed > uint64(cfg.Missions)*100 {
+			return nil, fmt.Errorf("experiments: could not find %d clean-safe missions (n=%d)",
+				cfg.Missions, swarmSize)
+		}
+		mission, err := sim.NewMission(sim.DefaultMissionConfig(swarmSize, seed))
+		if err != nil {
+			return nil, err
+		}
+		clean, err := sim.Run(mission, sim.RunOptions{Controller: ctrl})
+		if err != nil {
+			return nil, err
+		}
+		if len(clean.Collisions) > 0 || !clean.Completed {
+			result.SkippedUnsafe++
+			continue
+		}
+		jobs = append(jobs, job{seed: seed, mission: mission})
+	}
+
+	outcomes := make([]MissionOutcome, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rep, err := fuzzer.Fuzz(fuzz.Input{
+				Mission:       j.mission,
+				Controller:    ctrl,
+				SpoofDistance: spoofDistance,
+			}, cfg.Fuzz)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			o := MissionOutcome{Seed: j.seed, VDO: rep.VDO, Found: rep.Found}
+			if rep.Found {
+				o.Iterations = rep.IterationsToFind
+				o.Start = rep.Findings[0].Plan.Start
+				o.Duration = rep.Findings[0].Plan.Duration
+			}
+			outcomes[i] = o
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	result.Outcomes = outcomes
+	return result, nil
+}
+
+// Grid runs the full size × distance campaign grid (Tables I and II,
+// Figs. 6 and 7) with the given fuzzer.
+func Grid(cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResult, error) {
+	var out []*CampaignResult
+	for _, d := range cfg.SpoofDistances {
+		for _, n := range cfg.SwarmSizes {
+			cell, err := RunCampaign(cfg, fuzzer, n, d)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// CellFor returns the grid cell with the given configuration, or nil.
+func CellFor(cells []*CampaignResult, swarmSize int, spoofDistance float64) *CampaignResult {
+	for _, c := range cells {
+		if c.SwarmSize == swarmSize && c.SpoofDistance == spoofDistance {
+			return c
+		}
+	}
+	return nil
+}
+
+// SortedVDOThresholds returns the sorted distinct VDO values of a
+// cell, for cumulative-success-rate curves.
+func SortedVDOThresholds(c *CampaignResult) []float64 {
+	vdos := c.VDOs()
+	sort.Float64s(vdos)
+	out := vdos[:0]
+	last := -1.0
+	for _, v := range vdos {
+		if v != last {
+			out = append(out, v)
+			last = v
+		}
+	}
+	return out
+}

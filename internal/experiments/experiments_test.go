@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"swarmfuzz/internal/fuzz"
+)
+
+// fastConfig returns a tiny campaign for tests.
+func fastConfig(missions int) Config {
+	cfg := DefaultConfig(missions)
+	cfg.SwarmSizes = []int{3}
+	cfg.SpoofDistances = []float64{10}
+	cfg.Fuzz.MaxIterPerSeed = 2
+	cfg.Fuzz.MaxSeeds = 1
+	return cfg
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(100)
+	if cfg.Missions != 100 {
+		t.Errorf("missions = %d", cfg.Missions)
+	}
+	if len(cfg.SwarmSizes) != 3 || len(cfg.SpoofDistances) != 2 {
+		t.Errorf("default grid wrong: %v × %v", cfg.SwarmSizes, cfg.SpoofDistances)
+	}
+}
+
+func TestRunCampaignBasics(t *testing.T) {
+	cfg := fastConfig(3)
+	cell, err := RunCampaign(cfg, fuzz.RFuzz{}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.SwarmSize != 3 || cell.SpoofDistance != 10 {
+		t.Errorf("cell identity wrong: %+v", cell)
+	}
+	if len(cell.Outcomes) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(cell.Outcomes))
+	}
+	for i, o := range cell.Outcomes {
+		if o.VDO <= 0 {
+			t.Errorf("outcome %d has non-positive VDO %v (clean-safe missions only)", i, o.VDO)
+		}
+	}
+	rate := cell.SuccessRate()
+	if rate < 0 || rate > 1 {
+		t.Errorf("success rate %v outside [0,1]", rate)
+	}
+}
+
+func TestRunCampaignDeterministic(t *testing.T) {
+	cfg := fastConfig(2)
+	a, err := RunCampaign(cfg, fuzz.RFuzz{}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(cfg, fuzz.RFuzz{}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			t.Fatalf("outcome %d differs: %+v vs %+v", i, a.Outcomes[i], b.Outcomes[i])
+		}
+	}
+}
+
+func TestCampaignAggregates(t *testing.T) {
+	c := &CampaignResult{
+		Outcomes: []MissionOutcome{
+			{VDO: 1, Found: true, Iterations: 4, Start: 10, Duration: 8},
+			{VDO: 2, Found: false},
+			{VDO: 3, Found: true, Iterations: 6, Start: 20, Duration: 12},
+		},
+	}
+	if got := c.SuccessRate(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("SuccessRate = %v", got)
+	}
+	if got := c.AvgIterations(); got != 5 {
+		t.Errorf("AvgIterations = %v, want 5", got)
+	}
+	vdos := c.VDOs()
+	if len(vdos) != 3 || vdos[1] != 2 {
+		t.Errorf("VDOs = %v", vdos)
+	}
+	succ := c.Successes()
+	if !succ[0] || succ[1] || !succ[2] {
+		t.Errorf("Successes = %v", succ)
+	}
+	starts, durs := c.FoundParams()
+	if len(starts) != 2 || starts[1] != 20 || durs[0] != 8 {
+		t.Errorf("FoundParams = %v, %v", starts, durs)
+	}
+}
+
+func TestSortedVDOThresholds(t *testing.T) {
+	c := &CampaignResult{
+		Outcomes: []MissionOutcome{{VDO: 3}, {VDO: 1}, {VDO: 3}, {VDO: 2}},
+	}
+	got := SortedVDOThresholds(c)
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("thresholds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("thresholds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCellFor(t *testing.T) {
+	cells := []*CampaignResult{
+		{SwarmSize: 5, SpoofDistance: 10},
+		{SwarmSize: 10, SpoofDistance: 5},
+	}
+	if got := CellFor(cells, 10, 5); got != cells[1] {
+		t.Error("CellFor missed an existing cell")
+	}
+	if got := CellFor(cells, 15, 5); got != nil {
+		t.Error("CellFor invented a cell")
+	}
+}
+
+func TestRunnerTable3Fast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	cfg := fastConfig(1)
+	var sb strings.Builder
+	r := NewRunner(cfg, &sb, "")
+	// Table3 runs all four fuzzers but with the fast config each costs
+	// only a few simulations.
+	if err := r.Table3(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"SwarmFuzz", "R_Fuzz", "G_Fuzz", "S_Fuzz"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table III output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunnerTable1Fast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	cfg := fastConfig(1)
+	var sb strings.Builder
+	r := NewRunner(cfg, &sb, "")
+	if err := r.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table I") {
+		t.Errorf("missing table title:\n%s", sb.String())
+	}
+	// The grid is cached: a second table must not re-run the campaign.
+	lenBefore := len(sb.String())
+	if err := r.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String()[lenBefore:], "Table II") {
+		t.Error("Table II not rendered from cached grid")
+	}
+}

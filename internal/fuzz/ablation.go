@@ -1,0 +1,190 @@
+package fuzz
+
+import (
+	"math"
+
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/svg"
+)
+
+// The three ablation fuzzers of §V-C. Each disables one or both of
+// SwarmFuzz's heuristics:
+//
+//	R_Fuzz: random seeds, random parameters (neither heuristic)
+//	G_Fuzz: random seeds, gradient-guided parameters (no SVG)
+//	S_Fuzz: SVG-scheduled seeds, random parameters (no gradient)
+
+// RFuzz chooses drone pairs and spoofing parameters uniformly at
+// random.
+type RFuzz struct{}
+
+var _ Fuzzer = RFuzz{}
+
+// Name implements Fuzzer.
+func (RFuzz) Name() string { return "R_Fuzz" }
+
+// Fuzz implements Fuzzer.
+func (RFuzz) Fuzz(in Input, opts Options) (*Report, error) {
+	return fuzzWith(in, opts, RFuzz{}.Name(), randomSeeds, randomSearch)
+}
+
+// GFuzz chooses drone pairs randomly but searches the spoofing
+// parameters with gradient descent.
+type GFuzz struct{}
+
+var _ Fuzzer = GFuzz{}
+
+// Name implements Fuzzer.
+func (GFuzz) Name() string { return "G_Fuzz" }
+
+// Fuzz implements Fuzzer.
+func (GFuzz) Fuzz(in Input, opts Options) (*Report, error) {
+	return fuzzWith(in, opts, GFuzz{}.Name(), randomSeeds, gradientSearch)
+}
+
+// SFuzz schedules drone pairs with the SVG but samples the spoofing
+// parameters randomly.
+type SFuzz struct{}
+
+var _ Fuzzer = SFuzz{}
+
+// Name implements Fuzzer.
+func (SFuzz) Name() string { return "S_Fuzz" }
+
+// Fuzz implements Fuzzer.
+func (SFuzz) Fuzz(in Input, opts Options) (*Report, error) {
+	return fuzzWith(in, opts, SFuzz{}.Name(), scheduledSeeds, randomSearch)
+}
+
+// seedFn produces the ordered seed list for a mission.
+type seedFn func(in Input, clean *cleanRun, opts Options) ([]svg.Seed, error)
+
+// searchFn searches one seed's parameter space; it returns the
+// iterations and simulation runs consumed and a finding if an SPV was
+// discovered.
+type searchFn func(in Input, seed svg.Seed, clean *cleanRun, opts Options) (iters, sims int, f *Finding, err error)
+
+// cleanRun bundles the initial test result with the RNG used by the
+// random strategies, so randomness flows deterministically from
+// Options.RandSeed per mission.
+type cleanRun struct {
+	res *sim.Result
+	src *rng.Source
+}
+
+func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search searchFn) (*Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Fuzzer: name}
+
+	clean, err := runClean(in)
+	rep.Clean = clean
+	rep.SimRuns++
+	if err != nil {
+		return rep, err
+	}
+	rep.VDO = minOf(clean.MinClearance)
+
+	cr := &cleanRun{
+		res: clean,
+		src: rng.Derive(opts.RandSeed^in.Mission.Config.Seed, "fuzz/"+name),
+	}
+	seeds, err := mkSeeds(in, cr, opts)
+	if err != nil {
+		return rep, err
+	}
+	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
+		seeds = seeds[:opts.MaxSeeds]
+	}
+	for _, seed := range seeds {
+		rep.SeedsTried++
+		iters, sims, finding, err := search(in, seed, cr, opts)
+		rep.IterationsToFind += iters
+		rep.SimRuns += sims
+		if err != nil {
+			return rep, err
+		}
+		if finding != nil {
+			rep.Found = true
+			rep.Findings = append(rep.Findings, *finding)
+			return rep, nil
+		}
+	}
+	return rep, nil
+}
+
+// randomSeeds samples as many random ⟨T−V, θ⟩ seeds as the SVG
+// scheduler would produce at most: one per (victim, direction).
+func randomSeeds(in Input, clean *cleanRun, _ Options) ([]svg.Seed, error) {
+	n := in.Mission.Config.NumDrones
+	count := 2 * n
+	seeds := make([]svg.Seed, 0, count)
+	for k := 0; k < count; k++ {
+		t := clean.src.Intn(n)
+		v := clean.src.Intn(n - 1)
+		if v >= t {
+			v++
+		}
+		dir := gps.Right
+		if clean.src.Bool(0.5) {
+			dir = gps.Left
+		}
+		seeds = append(seeds, svg.Seed{
+			Target:    t,
+			Victim:    v,
+			Direction: dir,
+			VDO:       clean.res.MinClearance[v],
+		})
+	}
+	return seeds, nil
+}
+
+// scheduledSeeds is the SVG scheduling shared with SwarmFuzz.
+func scheduledSeeds(in Input, clean *cleanRun, opts Options) ([]svg.Seed, error) {
+	return scheduleSeeds(in, clean.res, opts)
+}
+
+// gradientSearch is the gradient-guided search shared with SwarmFuzz.
+func gradientSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options) (int, int, *Finding, error) {
+	res, finding, err := searchSeed(in, seed, clean.res, opts)
+	return res.Iters, res.Evals, finding, err
+}
+
+// randomSearch samples (t_s, Δt) uniformly for up to MaxIterPerSeed
+// iterations.
+func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options) (int, int, *Finding, error) {
+	horizon := clean.res.Duration
+	iters, sims := 0, 0
+	for iter := 0; iter < opts.MaxIterPerSeed; iter++ {
+		ts := clean.src.Uniform(0, horizon)
+		dt := clean.src.Uniform(0, math.Min(horizon-ts, 4*opts.InitDuration))
+		plan := gps.SpoofPlan{
+			Target:    seed.Target,
+			Start:     ts,
+			Duration:  dt,
+			Direction: seed.Direction,
+			Distance:  in.SpoofDistance,
+		}
+		ev, err := evaluate(in, plan, seed.Victim)
+		iters++
+		sims++
+		if err != nil {
+			return iters, sims, nil, err
+		}
+		if ev.success {
+			return iters, sims, &Finding{
+				Plan:       plan,
+				Victim:     seed.Victim,
+				Objective:  ev.objective,
+				Iterations: iters,
+			}, nil
+		}
+	}
+	return iters, sims, nil, nil
+}

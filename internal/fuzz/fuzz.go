@@ -1,0 +1,332 @@
+// Package fuzz is the paper's primary contribution: SwarmFuzz, a
+// fuzzing framework that finds Swarm Propagation Vulnerabilities
+// (SPVs) in swarm control algorithms, plus the three ablation fuzzers
+// (R_Fuzz, G_Fuzz, S_Fuzz) it is compared against in §V-C.
+//
+// SwarmFuzz proceeds exactly as Fig. 3 describes:
+//
+//  1. Run an initial test without any attack. If the clean mission
+//     fails (collides), the mission is rejected; otherwise record the
+//     trajectory, per-drone obstacle clearances and mission duration.
+//  2. Build the Swarm Vulnerability Graph for each spoofing direction
+//     at t_clo, run PageRank centrality, and schedule target–victim
+//     seeds: victims in ascending VDO order, each paired with its most
+//     influential target.
+//  3. For each seed, search the spoofing start time t_s and duration
+//     Δt with gradient descent on the victim-to-obstacle distance,
+//     until a collision is found or the per-seed iteration budget is
+//     exhausted.
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/opt"
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/svg"
+)
+
+// Input is one fuzzing problem: a mission, the swarm control algorithm
+// under test, and the GPS spoofing deviation available to the attacker.
+type Input struct {
+	// Mission is the mission instance to fuzz.
+	Mission *sim.Mission
+	// Controller is the swarm control algorithm under test.
+	Controller sim.Controller
+	// SpoofDistance is the spoofing deviation d in metres.
+	SpoofDistance float64
+}
+
+// Validate returns an error when the input is unusable.
+func (in Input) Validate() error {
+	switch {
+	case in.Mission == nil:
+		return errors.New("fuzz: nil mission")
+	case in.Controller == nil:
+		return errors.New("fuzz: nil controller")
+	case in.SpoofDistance <= 0:
+		return fmt.Errorf("fuzz: spoof distance %v must be positive", in.SpoofDistance)
+	}
+	return nil
+}
+
+// Options configure all fuzzers.
+type Options struct {
+	// MaxIterPerSeed caps search iterations per seed (paper: 20).
+	MaxIterPerSeed int
+	// MaxSeeds caps the number of seeds tried per mission; 0 means all
+	// scheduled seeds.
+	MaxSeeds int
+	// Grad parameterises the gradient descent (learning rate, finite
+	// difference step). MaxIters and Horizon are overridden per seed.
+	Grad opt.Options
+	// SVGThreshold is the minimum inward command change for an SVG
+	// edge.
+	SVGThreshold float64
+	// TargetsPerVictim is how many candidate targets the scheduler
+	// pairs with each (victim, direction), ranked by influence.
+	TargetsPerVictim int
+	// ApproachLead anchors the initial guess: the initial attack
+	// window ends when the swarm's leading drone is this many metres
+	// (along-track) from the obstacle in the clean run. Successful
+	// SPVs distort the formation *before* obstacle avoidance begins;
+	// the squeezed formation then collides during its natural passage.
+	ApproachLead float64
+	// InitLead shifts the initial window end by this many seconds
+	// (positive = later).
+	InitLead float64
+	// InitDuration is the initial Δt guess in seconds.
+	InitDuration float64
+	// RandSeed drives the random fuzzers' sampling.
+	RandSeed uint64
+}
+
+// DefaultOptions returns the paper's parameterisation.
+func DefaultOptions() Options {
+	g := opt.DefaultOptions()
+	return Options{
+		MaxIterPerSeed:   20,
+		Grad:             g,
+		SVGThreshold:     0.05,
+		TargetsPerVictim: 2,
+		ApproachLead:     25,
+		InitLead:         0,
+		InitDuration:     12,
+		RandSeed:         1,
+	}
+}
+
+// Validate returns an error when the options are unusable.
+func (o Options) Validate() error {
+	if o.MaxIterPerSeed < 1 {
+		return fmt.Errorf("fuzz: max iterations per seed %d must be >= 1", o.MaxIterPerSeed)
+	}
+	if o.MaxSeeds < 0 {
+		return fmt.Errorf("fuzz: max seeds %d must be >= 0", o.MaxSeeds)
+	}
+	if o.TargetsPerVictim < 1 {
+		return fmt.Errorf("fuzz: targets per victim %d must be >= 1", o.TargetsPerVictim)
+	}
+	if o.InitDuration <= 0 {
+		return fmt.Errorf("fuzz: bad initial duration %v", o.InitDuration)
+	}
+	if o.ApproachLead < 0 {
+		return fmt.Errorf("fuzz: negative approach lead %v", o.ApproachLead)
+	}
+	g := o.Grad
+	g.MaxIters = o.MaxIterPerSeed
+	return g.Validate()
+}
+
+// Finding is one discovered SPV: the full test-run tuple
+// ⟨T−V, t_s, Δt, θ⟩ plus bookkeeping.
+type Finding struct {
+	// Plan is the spoofing plan that causes the collision.
+	Plan gps.SpoofPlan
+	// Victim is the drone that collides with the obstacle.
+	Victim int
+	// Objective is the victim's minimum obstacle clearance under the
+	// plan (non-positive).
+	Objective float64
+	// Iterations is the number of search iterations spent on this
+	// seed before the SPV was found.
+	Iterations int
+}
+
+// String implements fmt.Stringer.
+func (f Finding) String() string {
+	return fmt.Sprintf("SPV{%v victim=%d f=%.2fm iters=%d}",
+		f.Plan, f.Victim, f.Objective, f.Iterations)
+}
+
+// Report is the outcome of fuzzing one mission.
+type Report struct {
+	// Fuzzer is the name of the fuzzer that produced the report.
+	Fuzzer string
+	// Clean is the initial no-attack test result.
+	Clean *sim.Result
+	// VDO is the clean run's swarm-level victim distance to obstacle.
+	VDO float64
+	// Found reports whether at least one SPV was discovered.
+	Found bool
+	// Findings lists the discovered SPVs (one per successful seed; the
+	// fuzzers stop at the first, as the paper's success metric is
+	// per-mission).
+	Findings []Finding
+	// SeedsTried is the number of seeds consumed.
+	SeedsTried int
+	// IterationsToFind is the total number of search iterations across
+	// seeds until the first SPV; when nothing was found it is the
+	// total budget consumed.
+	IterationsToFind int
+	// SimRuns is the total number of mission simulations, including
+	// gradient probes and the initial test.
+	SimRuns int
+}
+
+// ErrUnsafeMission is returned when the initial no-attack test already
+// collides: SwarmFuzz's step 1 requires a successful clean mission.
+var ErrUnsafeMission = errors.New("fuzz: mission collides without attack")
+
+// Fuzzer finds SPVs in one mission.
+type Fuzzer interface {
+	// Name identifies the fuzzer (e.g. "SwarmFuzz", "R_Fuzz").
+	Name() string
+	// Fuzz runs the fuzzing campaign against one input.
+	Fuzz(in Input, opts Options) (*Report, error)
+}
+
+// runClean executes the initial no-attack test with trajectory
+// recording (step 1 of Fig. 3).
+func runClean(in Input) (*sim.Result, error) {
+	res, err := sim.Run(in.Mission, sim.RunOptions{
+		Controller:       in.Controller,
+		RecordTrajectory: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Collisions) > 0 {
+		return res, ErrUnsafeMission
+	}
+	return res, nil
+}
+
+// evaluation is a single attacked mission run, returning the victim's
+// minimum obstacle clearance and whether the run is a valid SPV
+// success: the victim collided with the obstacle, not with the target,
+// and not because the target itself crashed into it.
+type evaluation struct {
+	objective float64
+	success   bool
+}
+
+func evaluate(in Input, plan gps.SpoofPlan, victim int) (evaluation, error) {
+	res, err := sim.Run(in.Mission, sim.RunOptions{
+		Controller: in.Controller,
+		Spoof:      &plan,
+	})
+	if err != nil {
+		return evaluation{}, err
+	}
+	ev := evaluation{objective: res.MinClearance[victim]}
+	if col := res.CollisionOf(victim); col != nil && col.Kind == sim.KindObstacle {
+		ev.success = true
+	}
+	// The paper does not count collisions caused directly by the
+	// target drone; a drone-drone collision involving the victim also
+	// invalidates the run.
+	if col := res.CollisionOf(victim); col != nil && col.Kind == sim.KindDrone {
+		ev.success = false
+	}
+	return ev, nil
+}
+
+// approachTime returns the first time at which any drone's along-track
+// distance to the obstacle drops below lead metres in the recorded
+// clean trajectory. This is when obstacle avoidance is about to begin
+// — the moment a formation-distorting attack should end.
+func approachTime(m *sim.Mission, traj *sim.Trajectory, lead float64) float64 {
+	ob := m.Obstacle()
+	for s, t := range traj.Times {
+		for _, p := range traj.Positions[s] {
+			if ob.Center.Sub(p).Dot(m.Axis) < lead {
+				return t
+			}
+		}
+	}
+	if n := len(traj.Times); n > 0 {
+		return traj.Times[n-1]
+	}
+	return 0
+}
+
+// searchSeed runs the gradient-guided search (step 3 of Fig. 3) for
+// one seed and reports the result.
+func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options) (opt.Result, *Finding, error) {
+	horizon := clean.Duration
+	windowEnd := approachTime(in.Mission, clean.Trajectory, opts.ApproachLead) + opts.InitLead
+	ts0 := math.Max(0, windowEnd-opts.InitDuration)
+	dt0 := opts.InitDuration
+
+	var simErr error
+	objective := func(ts, dt float64) float64 {
+		if simErr != nil {
+			return math.Inf(1)
+		}
+		plan := gps.SpoofPlan{
+			Target:    seed.Target,
+			Start:     ts,
+			Duration:  dt,
+			Direction: seed.Direction,
+			Distance:  in.SpoofDistance,
+		}
+		ev, err := evaluate(in, plan, seed.Victim)
+		if err != nil {
+			simErr = err
+			return math.Inf(1)
+		}
+		if !ev.success && ev.objective <= 0 {
+			// The victim's clearance went non-positive through an
+			// invalid collision (e.g. drone-drone): report a small
+			// positive objective so the optimizer does not declare
+			// victory.
+			return 0.01
+		}
+		return ev.objective
+	}
+
+	// The landscape has flat plateaus away from the narrow collision
+	// valley, so a stalled descent wastes its remaining budget. The
+	// per-seed iteration budget (paper: 20) is therefore spent over a
+	// deterministic multi-start schedule around the initial guess; the
+	// first start is the analytical guess itself.
+	starts := [][2]float64{
+		{ts0, dt0},
+		{ts0 - dt0/2, dt0 / 2},
+		{ts0 + dt0/3, dt0 * 1.5},
+		{ts0 - dt0, dt0},
+	}
+	acc := opt.Result{Value: math.Inf(1)}
+	budget := opts.MaxIterPerSeed
+	for _, s := range starts {
+		if budget <= 0 {
+			break
+		}
+		g := opts.Grad
+		g.MaxIters = budget
+		g.Horizon = horizon
+		res, err := opt.Minimize(objective, math.Max(s[0], 0), math.Max(s[1], 0.5), g)
+		if err != nil {
+			return acc, nil, err
+		}
+		if simErr != nil {
+			return acc, nil, simErr
+		}
+		budget -= res.Iters
+		acc.Iters += res.Iters
+		acc.Evals += res.Evals
+		if res.Value < acc.Value {
+			acc.TS, acc.DT, acc.Value = res.TS, res.DT, res.Value
+		}
+		if res.Found {
+			acc.Found = true
+			return acc, &Finding{
+				Plan: gps.SpoofPlan{
+					Target:    seed.Target,
+					Start:     res.TS,
+					Duration:  res.DT,
+					Direction: seed.Direction,
+					Distance:  in.SpoofDistance,
+				},
+				Victim:     seed.Victim,
+				Objective:  res.Value,
+				Iterations: acc.Iters,
+			}, nil
+		}
+	}
+	return acc, nil, nil
+}

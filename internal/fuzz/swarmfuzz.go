@@ -1,0 +1,103 @@
+package fuzz
+
+import (
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/graph"
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/svg"
+)
+
+// SwarmFuzz is the full fuzzer: SVG-based seed scheduling plus
+// gradient-guided parameter search.
+type SwarmFuzz struct{}
+
+var _ Fuzzer = SwarmFuzz{}
+
+// Name implements Fuzzer.
+func (SwarmFuzz) Name() string { return "SwarmFuzz" }
+
+// Fuzz implements Fuzzer.
+func (SwarmFuzz) Fuzz(in Input, opts Options) (*Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Fuzzer: SwarmFuzz{}.Name()}
+
+	clean, err := runClean(in)
+	rep.Clean = clean
+	rep.SimRuns++
+	if err != nil {
+		return rep, err
+	}
+	rep.VDO = minOf(clean.MinClearance)
+
+	seeds, err := scheduleSeeds(in, clean, opts)
+	if err != nil {
+		return rep, err
+	}
+	runScheduled(in, seeds, clean, opts, rep)
+	return rep, nil
+}
+
+// scheduleSeeds builds both directions' SVGs at t_clo and orders the
+// target-victim seeds (step 2 of Fig. 3).
+func scheduleSeeds(in Input, clean *sim.Result, opts Options) ([]svg.Seed, error) {
+	// t_clo restricted to the obstacle-interaction phase (±40 m of the
+	// obstacle along-track): the SVG probes influence *toward the
+	// obstacle*, which is only meaningful there.
+	snap, err := svg.ClosestSnapshotNearObstacle(clean.Trajectory, in.Mission, 40)
+	if err != nil {
+		return nil, err
+	}
+	cfg := svg.Config{
+		SpoofDistance:      in.SpoofDistance,
+		InfluenceThreshold: opts.SVGThreshold,
+		PageRank:           graph.DefaultPageRankOptions(),
+	}
+	graphs := make(map[gps.Direction]*graph.Digraph, 2)
+	for _, dir := range []gps.Direction{gps.Right, gps.Left} {
+		g, err := svg.Build(in.Controller, &in.Mission.World, in.Mission.Axis, snap, dir, cfg)
+		if err != nil {
+			return nil, err
+		}
+		graphs[dir] = g
+	}
+	return svg.ScheduleK(graphs, clean.MinClearance, cfg.PageRank, opts.TargetsPerVictim)
+}
+
+// runScheduled walks the seed list running the gradient search on each
+// seed, stopping at the first SPV (step 3 of Fig. 3).
+func runScheduled(in Input, seeds []svg.Seed, clean *sim.Result, opts Options, rep *Report) {
+	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
+		seeds = seeds[:opts.MaxSeeds]
+	}
+	for _, seed := range seeds {
+		rep.SeedsTried++
+		res, finding, err := searchSeed(in, seed, clean, opts)
+		rep.SimRuns += res.Evals
+		rep.IterationsToFind += res.Iters
+		if err != nil {
+			// Simulation errors abort the campaign for this mission;
+			// the report carries what was done so far.
+			return
+		}
+		if finding != nil {
+			rep.Found = true
+			rep.Findings = append(rep.Findings, *finding)
+			return
+		}
+	}
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

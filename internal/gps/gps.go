@@ -1,0 +1,190 @@
+// Package gps models the GPS receiver of each swarm member and the GPS
+// spoofing attack studied in the paper.
+//
+// A Sensor converts a drone's true position into a perceived position:
+// true position plus a constant per-receiver bias and zero-mean Gaussian
+// noise (the "standard GPS offset" the paper's defenses tolerate). A
+// Spoofer implements the paper's horizontal constant spoofing: during
+// the attack window [Start, Start+Duration] the perceived position is
+// additionally shifted by a constant horizontal offset of magnitude
+// Distance, perpendicular to the mission's migration axis.
+//
+// The spoofed reading is used both by the target drone's own controller
+// and broadcast to the rest of the swarm, exactly as in SwarmLab's
+// software fault injection.
+package gps
+
+import (
+	"fmt"
+	"math"
+
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/vec"
+)
+
+// Direction is the lateral spoofing direction θ relative to the
+// migration axis. Right means the target drone's perceived position is
+// shifted to the right of the direction of travel, which makes the
+// drone physically deviate to the left and drags attracted neighbours
+// to the right; Left is the mirror image.
+type Direction int
+
+// Spoofing directions. The integer values match the paper's θ ∈ {+1, −1}.
+const (
+	Right Direction = 1
+	Left  Direction = -1
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Right:
+		return "right"
+	case Left:
+		return "left"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Valid reports whether d is one of the two defined directions.
+func (d Direction) Valid() bool { return d == Right || d == Left }
+
+// Reading is one GPS fix.
+type Reading struct {
+	// Position is the perceived position (true + bias + noise + spoof).
+	Position vec.Vec3
+	// Time is the mission time of the fix in seconds.
+	Time float64
+	// Spoofed reports whether a spoofing offset was applied. It exists
+	// for test assertions and analysis only — controllers must not read
+	// it (a real victim cannot tell).
+	Spoofed bool
+}
+
+// Sensor models one drone's GPS receiver.
+type Sensor struct {
+	bias     vec.Vec3
+	noiseStd float64
+	src      *rng.Source
+}
+
+// NewSensor returns a Sensor with the given constant bias magnitude and
+// per-fix Gaussian noise standard deviation (both in metres, horizontal
+// only). The bias direction is drawn once from src.
+func NewSensor(biasMag, noiseStd float64, src *rng.Source) *Sensor {
+	angle := src.Uniform(0, 2*math.Pi)
+	bias := vec.New(biasMag*math.Cos(angle), biasMag*math.Sin(angle), 0)
+	return &Sensor{bias: bias, noiseStd: noiseStd, src: src}
+}
+
+// NewIdealSensor returns a noiseless, bias-free sensor. Useful for
+// deterministic unit tests and for isolating the spoofing effect.
+func NewIdealSensor() *Sensor {
+	return &Sensor{src: rng.New(0)}
+}
+
+// Read returns the perceived position for the given true position at
+// mission time t.
+func (s *Sensor) Read(truth vec.Vec3, t float64) Reading {
+	p := truth.Add(s.bias)
+	if s.noiseStd > 0 {
+		p = p.Add(vec.New(
+			s.src.Gaussian(0, s.noiseStd),
+			s.src.Gaussian(0, s.noiseStd),
+			0,
+		))
+	}
+	return Reading{Position: p, Time: t}
+}
+
+// SpoofPlan describes one horizontal constant spoofing attack: the
+// test-run tuple ⟨T, t_s, Δt, θ⟩ from the paper plus the spoofing
+// distance d that SwarmFuzz takes as an input.
+type SpoofPlan struct {
+	// Target is the index of the drone whose GPS is spoofed.
+	Target int
+	// Start is the spoofing start time t_s in seconds.
+	Start float64
+	// Duration is the spoofing duration Δt in seconds.
+	Duration float64
+	// Direction is the lateral direction θ.
+	Direction Direction
+	// Distance is the constant spoofing deviation d in metres.
+	Distance float64
+}
+
+// Active reports whether the spoofing signal is being transmitted at
+// mission time t.
+func (p SpoofPlan) Active(t float64) bool {
+	return t >= p.Start && t < p.Start+p.Duration
+}
+
+// End returns t_s + Δt.
+func (p SpoofPlan) End() float64 { return p.Start + p.Duration }
+
+// Offset returns the spoofing offset added to the perceived position at
+// time t, given the mission's horizontal migration axis. The offset is
+// perpendicular to the axis: Direction selects which side the perceived
+// position is pushed toward. Outside the attack window it is zero.
+func (p SpoofPlan) Offset(migrationAxis vec.Vec3, t float64) vec.Vec3 {
+	if !p.Active(t) {
+		return vec.Zero
+	}
+	perp := migrationAxis.PerpXY()
+	return perp.Scale(float64(p.Direction) * p.Distance)
+}
+
+// Validate returns an error when the plan is not executable.
+func (p SpoofPlan) Validate() error {
+	switch {
+	case p.Target < 0:
+		return fmt.Errorf("gps: negative target drone %d", p.Target)
+	case p.Start < 0:
+		return fmt.Errorf("gps: negative start time %v", p.Start)
+	case p.Duration < 0:
+		return fmt.Errorf("gps: negative duration %v", p.Duration)
+	case !p.Direction.Valid():
+		return fmt.Errorf("gps: invalid direction %d", int(p.Direction))
+	case p.Distance < 0:
+		return fmt.Errorf("gps: negative spoofing distance %v", p.Distance)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (p SpoofPlan) String() string {
+	return fmt.Sprintf("spoof{target=%d t_s=%.2fs Δt=%.2fs θ=%s d=%.1fm}",
+		p.Target, p.Start, p.Duration, p.Direction, p.Distance)
+}
+
+// Spoofer applies a SpoofPlan on top of a Sensor for a specific drone.
+// A nil Spoofer is valid and applies no attack.
+type Spoofer struct {
+	plan SpoofPlan
+	axis vec.Vec3
+}
+
+// NewSpoofer returns a Spoofer executing plan against a mission whose
+// horizontal migration axis is axis.
+func NewSpoofer(plan SpoofPlan, axis vec.Vec3) *Spoofer {
+	return &Spoofer{plan: plan, axis: axis}
+}
+
+// Plan returns the plan the spoofer executes.
+func (sp *Spoofer) Plan() SpoofPlan { return sp.plan }
+
+// Apply perturbs the reading of the given drone at time t. Readings of
+// drones other than the plan's target pass through unchanged.
+func (sp *Spoofer) Apply(droneID int, r Reading) Reading {
+	if sp == nil || droneID != sp.plan.Target {
+		return r
+	}
+	off := sp.plan.Offset(sp.axis, r.Time)
+	if off == vec.Zero {
+		return r
+	}
+	r.Position = r.Position.Add(off)
+	r.Spoofed = true
+	return r
+}

@@ -1,0 +1,256 @@
+// Package olfati implements the Olfati-Saber flocking algorithm — the
+// second of the two swarm control algorithms implemented by the
+// SwarmLab simulator the paper evaluates on. The paper fuzzes the
+// Vicsek algorithm and argues (§VI) that SwarmFuzz "should also work
+// on other decentralized swarm control algorithms" because it only
+// relies on the general goals those algorithms share; this package
+// provides that second algorithm so the claim can be tested.
+//
+// The model follows Olfati-Saber (IEEE TAC 2006): a gradient term over
+// a smooth pairwise potential with a finite cut-off (σ-norm), a
+// velocity-consensus term, obstacle interaction through β-agents
+// (projections of the drone onto obstacle surfaces), and a navigation
+// feedback toward the destination. As in the paper's setting, every
+// term consumes GPS-perceived positions — the drone's own fix and the
+// positions neighbours broadcast — so Swarm Propagation
+// Vulnerabilities apply to it the same way.
+package olfati
+
+import (
+	"fmt"
+	"math"
+
+	"swarmfuzz/internal/comms"
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/vec"
+)
+
+// Params are the gains and ranges of the Olfati-Saber controller.
+type Params struct {
+	// D is the desired inter-agent distance; R is the interaction
+	// cut-off range (R > D).
+	D, R float64
+	// Epsilon parameterises the σ-norm (0 < Epsilon < 1).
+	Epsilon float64
+	// A and B shape the pairwise action function φ (0 < A <= B).
+	A, B float64
+	// CGradient and CConsensus weigh the α-agent gradient and velocity
+	// consensus terms.
+	CGradient, CConsensus float64
+	// DBeta and RBeta are the desired distance and cut-off for
+	// β-agents (obstacle projections); CBetaGrad and CBetaCons weigh
+	// their gradient and velocity-alignment terms.
+	DBeta, RBeta         float64
+	CBetaGrad, CBetaCons float64
+	// C1 and C2 are the navigation feedback gains toward the
+	// destination (position and velocity feedback).
+	C1, C2 float64
+	// VFlock is the cruise speed used for the navigation reference.
+	VFlock float64
+	// VMax caps the velocity command.
+	VMax float64
+	// KAlt is the altitude-hold gain.
+	KAlt float64
+}
+
+// DefaultParams returns a parameterisation tuned to fly the paper's
+// missions safely: cohesive lattice, consensus, β-agent avoidance.
+func DefaultParams() Params {
+	return Params{
+		D:          8,
+		R:          14,
+		Epsilon:    0.1,
+		A:          1.2,
+		B:          1.8,
+		CGradient:  0.35,
+		CConsensus: 0.25,
+		DBeta:      6,
+		RBeta:      12,
+		CBetaGrad:  1.6,
+		CBetaCons:  0.6,
+		C1:         0.06,
+		C2:         0.18,
+		VFlock:     2,
+		VMax:       4,
+		KAlt:       0.8,
+	}
+}
+
+// Validate returns an error describing the first invalid parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.D <= 0 || p.R <= p.D:
+		return fmt.Errorf("olfati: need 0 < D < R, got D=%v R=%v", p.D, p.R)
+	case p.Epsilon <= 0 || p.Epsilon >= 1:
+		return fmt.Errorf("olfati: epsilon %v must be in (0,1)", p.Epsilon)
+	case p.A <= 0 || p.B < p.A:
+		return fmt.Errorf("olfati: need 0 < A <= B, got A=%v B=%v", p.A, p.B)
+	case p.CGradient < 0 || p.CConsensus < 0:
+		return fmt.Errorf("olfati: negative α-agent gains (%v, %v)", p.CGradient, p.CConsensus)
+	case p.DBeta <= 0 || p.RBeta <= p.DBeta:
+		return fmt.Errorf("olfati: need 0 < DBeta < RBeta, got %v, %v", p.DBeta, p.RBeta)
+	case p.CBetaGrad < 0 || p.CBetaCons < 0:
+		return fmt.Errorf("olfati: negative β-agent gains (%v, %v)", p.CBetaGrad, p.CBetaCons)
+	case p.C1 < 0 || p.C2 < 0:
+		return fmt.Errorf("olfati: negative navigation gains (%v, %v)", p.C1, p.C2)
+	case p.VFlock <= 0:
+		return fmt.Errorf("olfati: cruise speed %v must be positive", p.VFlock)
+	case p.VMax < p.VFlock:
+		return fmt.Errorf("olfati: VMax %v must be at least VFlock %v", p.VMax, p.VFlock)
+	case p.KAlt < 0:
+		return fmt.Errorf("olfati: altitude gain %v must be non-negative", p.KAlt)
+	}
+	return nil
+}
+
+// Controller implements sim.Controller with the Olfati-Saber model.
+// It is stateless: one instance serves the whole swarm.
+type Controller struct {
+	p Params
+	// Pre-computed σ-norm values of R and D.
+	rSigma, dSigma float64
+	// Pre-computed σ-norms for β-agents.
+	rbSigma, dbSigma float64
+}
+
+var _ sim.Controller = (*Controller)(nil)
+
+// New returns a Controller with the given parameters.
+func New(p Params) (*Controller, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{p: p}
+	c.rSigma = sigmaNorm(p.R, p.Epsilon)
+	c.dSigma = sigmaNorm(p.D, p.Epsilon)
+	c.rbSigma = sigmaNorm(p.RBeta, p.Epsilon)
+	c.dbSigma = sigmaNorm(p.DBeta, p.Epsilon)
+	return c, nil
+}
+
+// MustNew is New for parameters known to be valid; it panics otherwise.
+func MustNew(p Params) *Controller {
+	c, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Params returns the controller's parameters.
+func (c *Controller) Params() Params { return c.p }
+
+// sigmaNorm is the differentiable surrogate of the Euclidean norm:
+// (√(1+ε‖z‖²) − 1)/ε.
+func sigmaNorm(z, eps float64) float64 {
+	return (math.Sqrt(1+eps*z*z) - 1) / eps
+}
+
+// sigmaGrad is the gradient factor of the σ-norm: z/√(1+ε‖z‖²).
+func sigmaGradFactor(norm, eps float64) float64 {
+	return 1 / math.Sqrt(1+eps*norm*norm)
+}
+
+// bump is the smooth cut-off function ρ_h with h = 0.2.
+func bump(z float64) float64 {
+	const h = 0.2
+	switch {
+	case z < 0:
+		return 0
+	case z < h:
+		return 1
+	case z <= 1:
+		return 0.5 * (1 + math.Cos(math.Pi*(z-h)/(1-h)))
+	default:
+		return 0
+	}
+}
+
+// phi is the uneven sigmoid used by the action function.
+func phi(z, a, b float64) float64 {
+	cc := math.Abs(a-b) / math.Sqrt(4*a*b)
+	sig := (z + cc) / math.Sqrt(1+(z+cc)*(z+cc))
+	return 0.5 * ((a+b)*sig + (a - b))
+}
+
+// phiAlpha is the α-agent action function: attractive beyond dSigma,
+// repulsive below, zero past rSigma.
+func (c *Controller) phiAlpha(zSigma float64) float64 {
+	return bump(zSigma/c.rSigma) * phi(zSigma-c.dSigma, c.p.A, c.p.B)
+}
+
+// phiBeta is the β-agent action function: purely repulsive inside the
+// β cut-off.
+func (c *Controller) phiBeta(zSigma float64) float64 {
+	s := (zSigma - c.dbSigma) / math.Sqrt(1+(zSigma-c.dbSigma)*(zSigma-c.dbSigma))
+	return bump(zSigma/c.dbSigma) * (s - 1)
+}
+
+// Command implements sim.Controller.
+func (c *Controller) Command(p sim.Perception, neighbors []comms.State, w *sim.World) vec.Vec3 {
+	pos := p.GPS.Position
+	eps := c.p.Epsilon
+
+	var u vec.Vec3
+
+	// α-agent terms: gradient of the pairwise potential plus velocity
+	// consensus over in-range neighbours.
+	for _, nb := range neighbors {
+		rel := nb.Position.Sub(pos)
+		dist := rel.Norm()
+		if dist == 0 || dist > c.p.R {
+			continue
+		}
+		zSigma := sigmaNorm(dist, eps)
+		grad := rel.Scale(sigmaGradFactor(dist, eps) / math.Max(dist, 1e-9))
+		u = u.Add(grad.Scale(c.p.CGradient * c.phiAlpha(zSigma) * dist))
+		aij := bump(zSigma / c.rSigma)
+		u = u.Add(nb.Velocity.Sub(p.Velocity).Scale(c.p.CConsensus * aij))
+	}
+
+	// β-agent terms: for each obstacle within RBeta, project the drone
+	// onto the cylinder surface and treat the projection as a virtual
+	// agent that repels and velocity-aligns tangentially.
+	for _, o := range w.Obstacles {
+		s := o.SurfaceDistance(pos)
+		if s >= c.p.RBeta || s < -o.Radius {
+			continue
+		}
+		outward := o.OutwardNormal(pos)
+		if outward == vec.Zero {
+			outward = w.Destination.Sub(pos).Horizontal().Unit().Neg()
+			if outward == vec.Zero {
+				outward = vec.New(1, 0, 0)
+			}
+		}
+		// β-agent position: the projection of the drone on the surface.
+		beta := pos.Sub(outward.Scale(math.Max(s, 0.1)))
+		rel := beta.Sub(pos)
+		dist := math.Max(rel.Norm(), 0.1)
+		zSigma := sigmaNorm(dist, eps)
+		grad := rel.Scale(sigmaGradFactor(dist, eps) / dist)
+		u = u.Add(grad.Scale(c.p.CBetaGrad * c.phiBeta(zSigma) * dist))
+		// β-agent velocity: the drone's velocity with the normal
+		// component removed (sliding along the surface).
+		betaVel := p.Velocity.Sub(outward.Scale(p.Velocity.Dot(outward)))
+		u = u.Add(betaVel.Sub(p.Velocity).Scale(c.p.CBetaCons * bump(zSigma/c.rbSigma)))
+	}
+
+	// Navigation feedback toward the destination at cruise speed. The
+	// position feedback uses the bounded σ₁(z) = z/√(1+‖z‖²) of
+	// Olfati-Saber's γ-agent, so a distant destination cannot swamp
+	// the interaction terms.
+	toDest := w.Destination.Sub(pos).Horizontal()
+	if dn := toDest.Norm(); dn > w.DestRadius/2 {
+		refVel := toDest.Unit().Scale(c.p.VFlock)
+		sigma1 := toDest.Scale(1 / math.Sqrt(1+dn*dn))
+		u = u.Add(sigma1.Scale(c.p.C1 * 10)) // σ₁ is ≤1; rescale to metres-level authority
+		u = u.Add(refVel.Sub(p.Velocity).Scale(c.p.C2))
+		u = u.Add(refVel) // feed-forward cruise
+	}
+
+	// Altitude hold.
+	u = u.Add(vec.New(0, 0, c.p.KAlt*(w.Destination.Z-pos.Z)))
+
+	return u.ClampNorm(c.p.VMax)
+}

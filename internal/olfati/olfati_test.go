@@ -1,0 +1,245 @@
+package olfati
+
+import (
+	"math"
+	"testing"
+
+	"swarmfuzz/internal/comms"
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/vec"
+)
+
+func testWorld() *sim.World {
+	return &sim.World{
+		Obstacles:   []sim.Obstacle{{Center: vec.New(0, 100, 0), Radius: 4}},
+		Destination: vec.New(0, 200, 10),
+		DestRadius:  8,
+	}
+}
+
+func perceptionAt(pos, vel vec.Vec3) sim.Perception {
+	return sim.Perception{ID: 0, GPS: gps.Reading{Position: pos}, Velocity: vel}
+}
+
+func neighborAt(id int, pos, vel vec.Vec3) comms.State {
+	return comms.State{ID: id, Position: pos, Velocity: vel}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	mod := func(f func(*Params)) Params {
+		p := DefaultParams()
+		f(&p)
+		return p
+	}
+	bad := []Params{
+		mod(func(p *Params) { p.D = 0 }),
+		mod(func(p *Params) { p.R = p.D }),
+		mod(func(p *Params) { p.Epsilon = 0 }),
+		mod(func(p *Params) { p.Epsilon = 1 }),
+		mod(func(p *Params) { p.A = 0 }),
+		mod(func(p *Params) { p.B = p.A / 2 }),
+		mod(func(p *Params) { p.CGradient = -1 }),
+		mod(func(p *Params) { p.DBeta = 0 }),
+		mod(func(p *Params) { p.RBeta = p.DBeta }),
+		mod(func(p *Params) { p.C1 = -1 }),
+		mod(func(p *Params) { p.VFlock = 0 }),
+		mod(func(p *Params) { p.VMax = p.VFlock / 2 }),
+		mod(func(p *Params) { p.KAlt = -1 }),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+		if _, err := New(p); err == nil {
+			t.Errorf("New accepted bad params %d", i)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Params{})
+}
+
+func TestSigmaNorm(t *testing.T) {
+	// σ-norm of 0 is 0; it grows strictly monotonically; and it is
+	// differentiable at the origin (≈ z²/2 for small z, unlike the
+	// Euclidean norm).
+	if got := sigmaNorm(0, 0.1); got != 0 {
+		t.Errorf("sigmaNorm(0) = %v", got)
+	}
+	prev := 0.0
+	for z := 1.0; z <= 20; z++ {
+		v := sigmaNorm(z, 0.1)
+		if v <= prev {
+			t.Fatalf("sigmaNorm not monotone at %v", z)
+		}
+		prev = v
+	}
+	small := sigmaNorm(0.01, 0.1)
+	if math.Abs(small-0.01*0.01/2) > 1e-6 {
+		t.Errorf("sigmaNorm near origin = %v, want ~z²/2", small)
+	}
+}
+
+func TestBump(t *testing.T) {
+	cases := []struct {
+		z    float64
+		want float64
+	}{
+		{-0.5, 0}, {0, 1}, {0.1, 1}, {1, 0}, {1.5, 0},
+	}
+	for _, c := range cases {
+		if got := bump(c.z); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("bump(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+	// Smooth decay in between.
+	if !(bump(0.4) > bump(0.7) && bump(0.7) > bump(0.95)) {
+		t.Error("bump not decreasing on (h,1)")
+	}
+}
+
+func TestPhiAlphaSignStructure(t *testing.T) {
+	c := MustNew(DefaultParams())
+	// At the lattice distance the action is ~zero; below it is
+	// negative (repulsive); above (within range) positive (attractive).
+	atD := c.phiAlpha(c.dSigma)
+	below := c.phiAlpha(sigmaNorm(c.p.D/2, c.p.Epsilon))
+	above := c.phiAlpha(sigmaNorm((c.p.D+c.p.R)/2, c.p.Epsilon))
+	if math.Abs(atD) > 0.2 {
+		t.Errorf("phiAlpha at lattice distance = %v, want ~0", atD)
+	}
+	if below >= 0 {
+		t.Errorf("phiAlpha below lattice distance = %v, want negative", below)
+	}
+	if above <= 0 {
+		t.Errorf("phiAlpha above lattice distance = %v, want positive", above)
+	}
+}
+
+func TestCloseNeighborRepels(t *testing.T) {
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	p := perceptionAt(vec.New(0, 0, 10), vec.Zero)
+	nb := neighborAt(1, vec.New(3, 0, 10), vec.Zero) // well below D=8
+	cmd := c.Command(p, []comms.State{nb}, w)
+	if cmd.X >= 0 {
+		t.Errorf("command %v does not repel from close neighbour", cmd)
+	}
+}
+
+func TestFarNeighborAttracts(t *testing.T) {
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	p := perceptionAt(vec.New(0, 0, 10), vec.Zero)
+	// Between D and R: attraction. Use a neighbour directly east with
+	// no other influences except migration (northward).
+	nb := neighborAt(1, vec.New(12, 0, 10), vec.Zero)
+	cmd := c.Command(p, []comms.State{nb}, w)
+	if cmd.X <= 0 {
+		t.Errorf("command %v does not attract toward far neighbour", cmd)
+	}
+}
+
+func TestOutOfRangeNeighborIgnored(t *testing.T) {
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	p := perceptionAt(vec.New(0, 0, 10), vec.Zero)
+	base := c.Command(p, nil, w)
+	far := neighborAt(1, vec.New(c.p.R+5, 0, 10), vec.Zero)
+	got := c.Command(p, []comms.State{far}, w)
+	if !got.ApproxEqual(base, 1e-9) {
+		t.Errorf("out-of-range neighbour changed command: %v vs %v", got, base)
+	}
+}
+
+func TestConsensusAligns(t *testing.T) {
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	p := perceptionAt(vec.New(0, 0, 10), vec.New(0, 2, 0))
+	// Neighbour at the lattice distance moving east: consensus should
+	// add an eastward component.
+	nb := neighborAt(1, vec.New(0, 8, 10), vec.New(3, 2, 0))
+	with := c.Command(p, []comms.State{nb}, w)
+	without := c.Command(p, nil, w)
+	if with.X <= without.X {
+		t.Errorf("consensus did not pull east: %v vs %v", with, without)
+	}
+}
+
+func TestObstacleRepels(t *testing.T) {
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	// Inside the β-agent range south of the obstacle, flying north.
+	p := perceptionAt(vec.New(0, 100-4-3, 10), vec.New(0, 2, 0))
+	cmd := c.Command(p, nil, w)
+	free := c.Command(perceptionAt(vec.New(0, 20, 10), vec.New(0, 2, 0)), nil, w)
+	if cmd.Y >= free.Y {
+		t.Errorf("obstacle did not brake the approach: %v vs free %v", cmd, free)
+	}
+}
+
+func TestNavigationTowardDestination(t *testing.T) {
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	cmd := c.Command(perceptionAt(vec.New(0, 0, 10), vec.Zero), nil, w)
+	if cmd.Y <= 0 {
+		t.Errorf("command %v does not head to the destination", cmd)
+	}
+}
+
+func TestCommandCapped(t *testing.T) {
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	p := perceptionAt(vec.New(0, 95, 0), vec.New(0, 4, 0))
+	nbs := []comms.State{
+		neighborAt(1, vec.New(0.5, 95, 0), vec.New(4, 0, 0)),
+		neighborAt(2, vec.New(12, 95, 0), vec.Zero),
+	}
+	if got := c.Command(p, nbs, w).Norm(); got > c.p.VMax+1e-9 {
+		t.Errorf("command speed %v exceeds cap %v", got, c.p.VMax)
+	}
+}
+
+func TestMissionCompletesSafely(t *testing.T) {
+	ctrl := MustNew(DefaultParams())
+	for seed := uint64(1); seed <= 3; seed++ {
+		m, err := sim.NewMission(sim.DefaultMissionConfig(5, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(m, sim.RunOptions{Controller: ctrl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Errorf("seed %d: Olfati-Saber mission incomplete (%.1fs)", seed, res.Duration)
+		}
+		if len(res.Collisions) > 0 {
+			t.Errorf("seed %d: clean Olfati-Saber mission collided: %v", seed, res.Collisions)
+		}
+	}
+}
+
+func TestSpoofedBroadcastChangesCommand(t *testing.T) {
+	// The SPV premise holds for this controller too.
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	p := perceptionAt(vec.New(0, 0, 10), vec.Zero)
+	truth := neighborAt(1, vec.New(10, 0, 10), vec.Zero)
+	spoofed := neighborAt(1, vec.New(3, 0, 10), vec.Zero)
+	a := c.Command(p, []comms.State{truth}, w)
+	b := c.Command(p, []comms.State{spoofed}, w)
+	if a.Sub(b).Norm() < 1e-6 {
+		t.Error("spoofed broadcast did not change the command")
+	}
+}

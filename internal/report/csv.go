@@ -1,0 +1,64 @@
+package report
+
+import (
+	"encoding/csv"
+	"errors"
+	"io"
+	"strconv"
+
+	"swarmfuzz/internal/sim"
+)
+
+// errNilTrajectory is returned when a nil trajectory is exported.
+var errNilTrajectory = errors.New("report: nil trajectory")
+
+// WriteTrajectoryCSV writes a recorded trajectory as CSV with columns
+// t, drone, x, y, z — one row per (sample, drone).
+func WriteTrajectoryCSV(w io.Writer, traj *sim.Trajectory) error {
+	if traj == nil {
+		return errNilTrajectory
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "drone", "x", "y", "z"}); err != nil {
+		return err
+	}
+	for s, t := range traj.Times {
+		for d, p := range traj.Positions[s] {
+			rec := []string{
+				strconv.FormatFloat(t, 'f', 3, 64),
+				strconv.Itoa(d),
+				strconv.FormatFloat(p.X, 'f', 3, 64),
+				strconv.FormatFloat(p.Y, 'f', 3, 64),
+				strconv.FormatFloat(p.Z, 'f', 3, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesCSV writes one or more series as long-form CSV with
+// columns series, x, y.
+func WriteSeriesCSV(w io.Writer, series ...Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.X {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'f', 6, 64),
+				strconv.FormatFloat(s.Y[i], 'f', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

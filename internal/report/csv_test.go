@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/vec"
+)
+
+func TestWriteTrajectoryCSV(t *testing.T) {
+	traj := &sim.Trajectory{
+		Times: []float64{0, 0.1},
+		Positions: [][]vec.Vec3{
+			{vec.New(1, 2, 3), vec.New(4, 5, 6)},
+			{vec.New(1.1, 2.1, 3.1), vec.New(4.1, 5.1, 6.1)},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteTrajectoryCSV(&sb, traj); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 { // header + 2 samples × 2 drones
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "t,drone,x,y,z" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.000,0,1.000,2.000,3.000" {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteTrajectoryCSVNil(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTrajectoryCSV(&sb, nil); err == nil {
+		t.Error("nil trajectory accepted")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteSeriesCSV(&sb,
+		Series{Name: "cdf", X: []float64{1, 2}, Y: []float64{0.5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if lines[0] != "series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "cdf,1.000000,0.500000") {
+		t.Errorf("row = %q", lines[1])
+	}
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"swarmfuzz/internal/graph"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := graph.NewDigraph(3)
+	if err := g.SetEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdge(2, 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, "svg_right", g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "svg_right"`,
+		`d0 [label="drone 0"]`,
+		`d0 -> d1 [label="0.500"]`,
+		`d2 -> d1 [label="0.250"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	g := graph.NewDigraph(4)
+	for _, e := range [][2]int{{3, 0}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := g.SetEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var a, b strings.Builder
+	if err := WriteDOT(&a, "g", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDOT(&b, "g", g); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestWriteDOTNil(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, "g", nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"swarmfuzz/internal/vec"
+)
+
+func TestBodyParamsValidate(t *testing.T) {
+	if err := DefaultBodyParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []BodyParams{
+		{Tau: 0, MaxAccel: 1, MaxSpeed: 1},
+		{Tau: 1, MaxAccel: 0, MaxSpeed: 1},
+		{Tau: 1, MaxAccel: 1, MaxSpeed: 0},
+		{Tau: -1, MaxAccel: 1, MaxSpeed: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestBodyConvergesToCommand(t *testing.T) {
+	p := DefaultBodyParams()
+	b := Body{}
+	cmd := vec.New(2, 0, 0)
+	for i := 0; i < 400; i++ {
+		b.Step(cmd, p, 0.05)
+	}
+	if !b.Vel.ApproxEqual(cmd, 0.01) {
+		t.Errorf("velocity %v did not converge to command %v", b.Vel, cmd)
+	}
+	if b.Pos.X <= 0 {
+		t.Errorf("body did not advance: %v", b.Pos)
+	}
+}
+
+func TestBodySpeedLimit(t *testing.T) {
+	p := DefaultBodyParams()
+	b := Body{}
+	cmd := vec.New(100, 0, 0) // far above MaxSpeed
+	for i := 0; i < 1000; i++ {
+		b.Step(cmd, p, 0.05)
+		if s := b.Vel.Norm(); s > p.MaxSpeed+1e-9 {
+			t.Fatalf("speed %v exceeded limit %v", s, p.MaxSpeed)
+		}
+	}
+	if math.Abs(b.Vel.Norm()-p.MaxSpeed) > 0.01 {
+		t.Errorf("saturated speed %v, want %v", b.Vel.Norm(), p.MaxSpeed)
+	}
+}
+
+func TestBodyAccelLimit(t *testing.T) {
+	p := DefaultBodyParams()
+	b := Body{}
+	dt := 0.05
+	prev := b.Vel
+	for i := 0; i < 100; i++ {
+		b.Step(vec.New(0, p.MaxSpeed, 0), p, dt)
+		dv := b.Vel.Sub(prev).Norm()
+		if dv > p.MaxAccel*dt+1e-9 {
+			t.Fatalf("step %d acceleration %v exceeds limit %v", i, dv/dt, p.MaxAccel)
+		}
+		prev = b.Vel
+	}
+}
+
+func TestCrashedBodyFrozen(t *testing.T) {
+	p := DefaultBodyParams()
+	b := Body{Pos: vec.New(1, 2, 3), Vel: vec.New(1, 0, 0), Crashed: true}
+	before := b
+	b.Step(vec.New(5, 5, 0), p, 0.05)
+	if b != before {
+		t.Errorf("crashed body moved: %+v", b)
+	}
+}
+
+func TestBodyZeroCommandBrakes(t *testing.T) {
+	p := DefaultBodyParams()
+	b := Body{Vel: vec.New(3, 0, 0)}
+	for i := 0; i < 400; i++ {
+		b.Step(vec.Zero, p, 0.05)
+	}
+	if b.Vel.Norm() > 0.01 {
+		t.Errorf("body did not brake: |v| = %v", b.Vel.Norm())
+	}
+}
+
+func TestPropBodySpeedNeverExceedsLimit(t *testing.T) {
+	p := DefaultBodyParams()
+	f := func(cx, cy, vx, vy float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 50)
+		}
+		b := Body{Vel: vec.New(clamp(vx), clamp(vy), 0).ClampNorm(p.MaxSpeed)}
+		cmd := vec.New(clamp(cx), clamp(cy), 0)
+		for i := 0; i < 50; i++ {
+			b.Step(cmd, p, 0.05)
+			if b.Vel.Norm() > p.MaxSpeed+1e-9 {
+				return false
+			}
+		}
+		return b.Pos.IsFinite() && b.Vel.IsFinite()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

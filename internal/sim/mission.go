@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/vec"
+)
+
+// MissionConfig describes a point-to-point delivery mission like the
+// ones in the paper's evaluation (§V-A): the swarm starts from a random
+// position within a bounded offset of the mission origin and flies
+// 233.5 m to a destination, past a single on-path obstacle placed at
+// roughly the half-way mark.
+type MissionConfig struct {
+	// NumDrones is the swarm size.
+	NumDrones int
+	// Seed drives every random choice of the mission instance (start
+	// placement, obstacle jitter, GPS noise).
+	Seed uint64
+
+	// MissionLength is the straight-line distance from the swarm start
+	// centre to the destination, in metres.
+	MissionLength float64
+	// StartOffsetMax bounds the random offset of the swarm's start
+	// centre relative to the mission origin ("0–50 m" in the paper).
+	StartOffsetMax float64
+	// MinSeparation is the minimum initial inter-drone distance.
+	MinSeparation float64
+	// Altitude is the shared flight altitude.
+	Altitude float64
+
+	// ObstacleRadius is the cylinder radius of the on-path obstacle.
+	ObstacleRadius float64
+	// ObstacleLateralJitter bounds the uniform lateral displacement of
+	// the obstacle relative to the swarm's path centreline. This is
+	// what makes VDO vary across missions.
+	ObstacleLateralJitter float64
+	// DroneRadius is the collision radius of one drone.
+	DroneRadius float64
+	// DestRadius is the arrival threshold.
+	DestRadius float64
+
+	// Dt is the simulation/control timestep in seconds.
+	Dt float64
+	// MaxTime caps the mission duration in seconds.
+	MaxTime float64
+	// SampleEvery is the trajectory recording period in ticks.
+	SampleEvery int
+
+	// GPSBias is the constant per-receiver GPS bias magnitude (m).
+	GPSBias float64
+	// GPSNoise is the per-fix Gaussian GPS noise stddev (m).
+	GPSNoise float64
+
+	// Body is the drone's inner-loop parameterisation.
+	Body BodyParams
+}
+
+// DefaultMissionConfig returns the configuration used throughout the
+// paper's evaluation: a 233.5 m mission with the obstacle at the
+// half-way mark and a random start within 0–50 m.
+func DefaultMissionConfig(numDrones int, seed uint64) MissionConfig {
+	return MissionConfig{
+		NumDrones:             numDrones,
+		Seed:                  seed,
+		MissionLength:         233.5,
+		StartOffsetMax:        50,
+		MinSeparation:         6,
+		Altitude:              10,
+		ObstacleRadius:        4,
+		ObstacleLateralJitter: 14,
+		DroneRadius:           0.25,
+		DestRadius:            8,
+		Dt:                    0.05,
+		MaxTime:               200,
+		SampleEvery:           2, // 0.1 s samples
+		GPSBias:               0.4,
+		GPSNoise:              0.12,
+		Body:                  DefaultBodyParams(),
+	}
+}
+
+// Validate returns an error describing the first invalid field.
+func (c MissionConfig) Validate() error {
+	switch {
+	case c.NumDrones < 2:
+		return fmt.Errorf("sim: swarm needs at least 2 drones, got %d", c.NumDrones)
+	case c.MissionLength <= 0:
+		return fmt.Errorf("sim: mission length %v must be positive", c.MissionLength)
+	case c.StartOffsetMax < 0:
+		return fmt.Errorf("sim: start offset %v must be non-negative", c.StartOffsetMax)
+	case c.MinSeparation <= 0:
+		return fmt.Errorf("sim: min separation %v must be positive", c.MinSeparation)
+	case c.ObstacleRadius <= 0:
+		return fmt.Errorf("sim: obstacle radius %v must be positive", c.ObstacleRadius)
+	case c.DroneRadius <= 0:
+		return fmt.Errorf("sim: drone radius %v must be positive", c.DroneRadius)
+	case c.DestRadius <= 0:
+		return fmt.Errorf("sim: destination radius %v must be positive", c.DestRadius)
+	case c.Dt <= 0:
+		return fmt.Errorf("sim: timestep %v must be positive", c.Dt)
+	case c.MaxTime <= 0:
+		return fmt.Errorf("sim: max time %v must be positive", c.MaxTime)
+	case c.SampleEvery < 1:
+		return fmt.Errorf("sim: sample period %d must be >= 1 tick", c.SampleEvery)
+	case c.GPSBias < 0 || c.GPSNoise < 0:
+		return fmt.Errorf("sim: GPS bias/noise must be non-negative")
+	}
+	return c.Body.Validate()
+}
+
+// Mission is a concrete mission instance: the sampled starting
+// positions, the world, and the migration axis. It is produced from a
+// MissionConfig and fully determined by it.
+type Mission struct {
+	// Config is the generating configuration.
+	Config MissionConfig
+	// Start holds the initial true position of every drone.
+	Start []vec.Vec3
+	// World is the static environment.
+	World World
+	// Axis is the horizontal unit vector from start centre to
+	// destination — the migration axis spoofing is lateral to.
+	Axis vec.Vec3
+}
+
+// NewMission instantiates the mission described by cfg. All randomness
+// derives from cfg.Seed.
+func NewMission(cfg MissionConfig) (*Mission, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	placeSrc := rng.Derive(cfg.Seed, "mission/placement")
+
+	// The swarm's start centre is offset from the mission origin by a
+	// uniform amount in [0, StartOffsetMax] per horizontal axis, as in
+	// the paper ("randomly generated within a range of 0-50m relative
+	// to the mission starting point").
+	centre := vec.New(
+		placeSrc.Uniform(0, cfg.StartOffsetMax),
+		placeSrc.Uniform(0, cfg.StartOffsetMax),
+		cfg.Altitude,
+	)
+
+	start, err := placeDrones(cfg, centre, placeSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Migration is along +Y from the start centre; the destination is
+	// MissionLength ahead.
+	dest := centre.Add(vec.New(0, cfg.MissionLength, 0))
+	axis := vec.New(0, 1, 0)
+
+	// The obstacle sits at the half-way mark, laterally jittered
+	// relative to the path centreline.
+	obsSrc := rng.Derive(cfg.Seed, "mission/obstacle")
+	lateral := obsSrc.Uniform(-cfg.ObstacleLateralJitter, cfg.ObstacleLateralJitter)
+	obsCentre := centre.Add(vec.New(lateral, cfg.MissionLength/2, 0))
+
+	m := &Mission{
+		Config: cfg,
+		Start:  start,
+		World: World{
+			Obstacles:   []Obstacle{{Center: obsCentre, Radius: cfg.ObstacleRadius}},
+			Destination: dest,
+			DestRadius:  cfg.DestRadius,
+		},
+		Axis: axis,
+	}
+	if err := m.World.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// placeDrones samples NumDrones positions around centre with pairwise
+// distance at least MinSeparation, via rejection sampling in a box
+// whose side grows with the swarm size (the swarm is "sparse even with
+// a large size").
+func placeDrones(cfg MissionConfig, centre vec.Vec3, src *rng.Source) ([]vec.Vec3, error) {
+	side := cfg.MinSeparation * 1.6 * math.Sqrt(float64(cfg.NumDrones))
+	if side < cfg.MinSeparation*2 {
+		side = cfg.MinSeparation * 2
+	}
+	const maxAttempts = 100000
+	positions := make([]vec.Vec3, 0, cfg.NumDrones)
+	for attempts := 0; len(positions) < cfg.NumDrones; attempts++ {
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf(
+				"sim: could not place %d drones with %.1fm separation in a %.1fm box",
+				cfg.NumDrones, cfg.MinSeparation, side)
+		}
+		cand := centre.Add(vec.New(
+			src.Uniform(-side/2, side/2),
+			src.Uniform(-side/2, side/2),
+			0,
+		))
+		ok := true
+		for _, p := range positions {
+			if cand.Dist(p) < cfg.MinSeparation {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			positions = append(positions, cand)
+		}
+	}
+	return positions, nil
+}
+
+// Obstacle returns the mission's single on-path obstacle. It panics if
+// the world was constructed without obstacles, which NewMission never
+// does.
+func (m *Mission) Obstacle() Obstacle { return m.World.Obstacles[0] }

@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"swarmfuzz/internal/comms"
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/vec"
+)
+
+// Perception is everything one drone's controller may use about itself:
+// its GPS fix (perceived — possibly spoofed — position) and its own
+// velocity from inertial sensing. Controllers must not reach into the
+// simulator's true state; the Vicsek algorithm "performs collision
+// avoidance based solely on the GPS sensor reading" (§V-A).
+type Perception struct {
+	// ID is the drone's index within the swarm.
+	ID int
+	// GPS is the current (possibly spoofed) GPS fix.
+	GPS gps.Reading
+	// Velocity is the drone's own velocity estimate.
+	Velocity vec.Vec3
+	// Time is the mission time in seconds.
+	Time float64
+}
+
+// Controller computes a desired-velocity command from a drone's own
+// perception, the neighbour states received over the bus, and the
+// static world. Implementations must be pure functions of their inputs
+// (no per-call state), so one instance can serve the whole swarm.
+type Controller interface {
+	Command(p Perception, neighbors []comms.State, w *World) vec.Vec3
+}
+
+// CollisionKind distinguishes what a drone collided with.
+type CollisionKind int
+
+// Collision kinds.
+const (
+	// KindObstacle is a drone-obstacle collision — the attack outcome
+	// SwarmFuzz searches for.
+	KindObstacle CollisionKind = iota + 1
+	// KindDrone is a drone-drone collision. The paper's threat model
+	// does not count these as attack successes, but the simulator
+	// reports them so the fuzzer can reject such runs.
+	KindDrone
+)
+
+// String implements fmt.Stringer.
+func (k CollisionKind) String() string {
+	switch k {
+	case KindObstacle:
+		return "obstacle"
+	case KindDrone:
+		return "drone"
+	default:
+		return fmt.Sprintf("CollisionKind(%d)", int(k))
+	}
+}
+
+// Collision is one collision event.
+type Collision struct {
+	// Drone is the index of the colliding drone.
+	Drone int
+	// Kind reports what it collided with.
+	Kind CollisionKind
+	// Other is the obstacle index (KindObstacle) or the other drone's
+	// index (KindDrone).
+	Other int
+	// Time is the mission time of the event.
+	Time float64
+	// Pos is the drone's true position at the event.
+	Pos vec.Vec3
+}
+
+// Trajectory is the recorded clean-run information SwarmFuzz needs to
+// build the SVG: true drone positions over time and the mean
+// inter-drone distance series used to find t_clo.
+type Trajectory struct {
+	// Times holds the sample times.
+	Times []float64
+	// Positions holds, per sample, the true position of every drone.
+	Positions [][]vec.Vec3
+	// Velocities holds, per sample, the true velocity of every drone.
+	Velocities [][]vec.Vec3
+	// MeanInterDist holds, per sample, the mean pairwise inter-drone
+	// distance of active drones.
+	MeanInterDist []float64
+}
+
+// ClosestSample returns the index of the sample with the smallest mean
+// inter-drone distance (t_clo in the paper), or -1 for an empty
+// trajectory.
+func (t *Trajectory) ClosestSample() int {
+	best := -1
+	bestVal := 0.0
+	for i, v := range t.MeanInterDist {
+		if best == -1 || v < bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+// Result summarises one mission run.
+type Result struct {
+	// Duration is the mission time at which the run ended (arrival of
+	// all active drones, or MaxTime).
+	Duration float64
+	// Completed reports whether every non-crashed drone reached the
+	// destination.
+	Completed bool
+	// Collisions lists every collision event, in time order.
+	Collisions []Collision
+	// MinClearance holds, per drone, the minimum obstacle clearance
+	// (surface distance minus drone radius) observed during the run.
+	// Non-positive clearance is a collision. This is the paper's
+	// "distance to the obstacle" D_ob, from which the VDO is derived.
+	MinClearance []float64
+	// Trajectory is the recorded trajectory, nil unless requested.
+	Trajectory *Trajectory
+}
+
+// CollisionOf returns the first collision of the given drone, or nil.
+func (r *Result) CollisionOf(drone int) *Collision {
+	for i := range r.Collisions {
+		if r.Collisions[i].Drone == drone {
+			return &r.Collisions[i]
+		}
+	}
+	return nil
+}
+
+// ObstacleCollisions returns the collisions with obstacles only.
+func (r *Result) ObstacleCollisions() []Collision {
+	var out []Collision
+	for _, c := range r.Collisions {
+		if c.Kind == KindObstacle {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RunOptions configure one mission run.
+type RunOptions struct {
+	// Controller computes each drone's velocity command. Required.
+	Controller Controller
+	// Bus is the communication model; nil selects a PerfectBus.
+	Bus comms.Bus
+	// Spoof, when non-nil, injects a GPS spoofing attack.
+	Spoof *gps.SpoofPlan
+	// RecordTrajectory enables trajectory recording (needed for the
+	// initial test-run; skipped during fuzzing iterations for speed).
+	RecordTrajectory bool
+}
+
+// errNilController is returned when RunOptions lack a controller.
+var errNilController = errors.New("sim: RunOptions.Controller is required")
+
+// Run simulates the mission and returns its Result. It is
+// deterministic: identical mission, options and spoof plan yield an
+// identical result.
+func Run(m *Mission, opts RunOptions) (*Result, error) {
+	if opts.Controller == nil {
+		return nil, errNilController
+	}
+	cfg := m.Config
+	bus := opts.Bus
+	if bus == nil {
+		bus = comms.NewPerfectBus()
+	}
+	var spoofer *gps.Spoofer
+	if opts.Spoof != nil {
+		if err := opts.Spoof.Validate(); err != nil {
+			return nil, err
+		}
+		if opts.Spoof.Target >= cfg.NumDrones {
+			return nil, fmt.Errorf("sim: spoof target %d out of range (%d drones)",
+				opts.Spoof.Target, cfg.NumDrones)
+		}
+		spoofer = gps.NewSpoofer(*opts.Spoof, m.Axis)
+	}
+
+	n := cfg.NumDrones
+	bodies := make([]Body, n)
+	sensors := make([]*gps.Sensor, n)
+	for i := 0; i < n; i++ {
+		bodies[i] = Body{Pos: m.Start[i]}
+		sensors[i] = gps.NewSensor(cfg.GPSBias, cfg.GPSNoise, rng.DeriveN(cfg.Seed, "gps", i))
+	}
+
+	res := &Result{MinClearance: make([]float64, n)}
+	for i := range res.MinClearance {
+		_, d := m.World.NearestObstacle(bodies[i].Pos)
+		res.MinClearance[i] = d - cfg.DroneRadius
+	}
+	var traj *Trajectory
+	if opts.RecordTrajectory {
+		est := int(cfg.MaxTime/cfg.Dt)/cfg.SampleEvery + 2
+		traj = &Trajectory{
+			Times:         make([]float64, 0, est),
+			Positions:     make([][]vec.Vec3, 0, est),
+			Velocities:    make([][]vec.Vec3, 0, est),
+			MeanInterDist: make([]float64, 0, est),
+		}
+	}
+
+	published := make([]comms.State, 0, n)
+	readings := make([]gps.Reading, n)
+	cmds := make([]vec.Vec3, n)
+	steps := int(cfg.MaxTime / cfg.Dt)
+	tEnd := cfg.MaxTime
+
+	for step := 0; step <= steps; step++ {
+		t := float64(step) * cfg.Dt
+
+		// (1) Sense: read GPS (with spoofing) and (2) broadcast state.
+		published = published[:0]
+		for i := 0; i < n; i++ {
+			if bodies[i].Crashed {
+				continue
+			}
+			readings[i] = spoofer.Apply(i, sensors[i].Read(bodies[i].Pos, t))
+			published = append(published, comms.State{
+				ID:       i,
+				Position: readings[i].Position,
+				Velocity: bodies[i].Vel,
+				Time:     t,
+			})
+		}
+		observations := bus.Exchange(published)
+
+		// (3)+(4) Decide: every active drone derives its command from
+		// its own perception and the received states.
+		obsIdx := 0
+		for i := 0; i < n; i++ {
+			if bodies[i].Crashed {
+				cmds[i] = vec.Zero
+				continue
+			}
+			cmds[i] = opts.Controller.Command(Perception{
+				ID:       i,
+				GPS:      readings[i],
+				Velocity: bodies[i].Vel,
+				Time:     t,
+			}, observations[obsIdx], &m.World)
+			obsIdx++
+		}
+
+		// Actuate.
+		for i := 0; i < n; i++ {
+			bodies[i].Step(cmds[i], cfg.Body, cfg.Dt)
+		}
+
+		// Collision detection on true positions.
+		for i := 0; i < n; i++ {
+			if bodies[i].Crashed {
+				continue
+			}
+			oi, d := m.World.NearestObstacle(bodies[i].Pos)
+			clear := d - cfg.DroneRadius
+			if clear < res.MinClearance[i] {
+				res.MinClearance[i] = clear
+			}
+			if oi >= 0 && clear <= 0 {
+				bodies[i].Crashed = true
+				res.Collisions = append(res.Collisions, Collision{
+					Drone: i, Kind: KindObstacle, Other: oi, Time: t, Pos: bodies[i].Pos,
+				})
+			}
+		}
+		for i := 0; i < n; i++ {
+			if bodies[i].Crashed {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if bodies[j].Crashed {
+					continue
+				}
+				if bodies[i].Pos.Dist(bodies[j].Pos) <= 2*cfg.DroneRadius {
+					bodies[i].Crashed = true
+					bodies[j].Crashed = true
+					res.Collisions = append(res.Collisions,
+						Collision{Drone: i, Kind: KindDrone, Other: j, Time: t, Pos: bodies[i].Pos},
+						Collision{Drone: j, Kind: KindDrone, Other: i, Time: t, Pos: bodies[j].Pos},
+					)
+					break
+				}
+			}
+		}
+
+		// Record.
+		if traj != nil && step%cfg.SampleEvery == 0 {
+			pos := make([]vec.Vec3, n)
+			vel := make([]vec.Vec3, n)
+			for i := range pos {
+				pos[i] = bodies[i].Pos
+				vel[i] = bodies[i].Vel
+			}
+			traj.Times = append(traj.Times, t)
+			traj.Positions = append(traj.Positions, pos)
+			traj.Velocities = append(traj.Velocities, vel)
+			traj.MeanInterDist = append(traj.MeanInterDist, meanInterDistance(bodies))
+		}
+
+		// Completion: every active drone has crossed the arrival plane.
+		if allArrived(bodies, m) {
+			res.Completed = true
+			tEnd = t
+			break
+		}
+	}
+
+	res.Duration = tEnd
+	res.Trajectory = traj
+	return res, nil
+}
+
+// allArrived reports whether every active drone has crossed the
+// arrival plane: the plane perpendicular to the migration axis,
+// DestRadius before the destination. A radius criterion would never be
+// met by large swarms, whose physical footprint exceeds any fixed
+// arrival circle.
+func allArrived(bodies []Body, m *Mission) bool {
+	anyActive := false
+	for i := range bodies {
+		if bodies[i].Crashed {
+			continue
+		}
+		anyActive = true
+		along := bodies[i].Pos.Sub(m.World.Destination).Dot(m.Axis)
+		if along < -m.World.DestRadius {
+			return false
+		}
+	}
+	return anyActive
+}
+
+func meanInterDistance(bodies []Body) float64 {
+	sum, cnt := 0.0, 0
+	for i := range bodies {
+		if bodies[i].Crashed {
+			continue
+		}
+		for j := i + 1; j < len(bodies); j++ {
+			if bodies[j].Crashed {
+				continue
+			}
+			sum += bodies[i].Pos.Dist(bodies[j].Pos)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}

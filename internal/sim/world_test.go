@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"swarmfuzz/internal/vec"
+)
+
+func TestObstacleSurfaceDistance(t *testing.T) {
+	o := Obstacle{Center: vec.New(10, 0, 0), Radius: 4}
+	cases := []struct {
+		p    vec.Vec3
+		want float64
+	}{
+		{vec.New(0, 0, 0), 6},
+		{vec.New(10, 0, 50), -4}, // on axis, altitude ignored
+		{vec.New(14, 0, 0), 0},
+		{vec.New(10, 5, 7), 1},
+	}
+	for _, c := range cases {
+		if got := o.SurfaceDistance(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("SurfaceDistance(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestObstacleOutwardNormal(t *testing.T) {
+	o := Obstacle{Center: vec.New(0, 0, 0), Radius: 2}
+	n := o.OutwardNormal(vec.New(5, 0, 9))
+	if !n.ApproxEqual(vec.New(1, 0, 0), 1e-9) {
+		t.Errorf("OutwardNormal = %v, want (1,0,0)", n)
+	}
+	if got := o.OutwardNormal(vec.New(0, 0, 3)); got != vec.Zero {
+		t.Errorf("on-axis normal = %v, want zero", got)
+	}
+}
+
+func TestNearestObstacle(t *testing.T) {
+	w := &World{
+		Obstacles: []Obstacle{
+			{Center: vec.New(0, 10, 0), Radius: 2},
+			{Center: vec.New(0, 30, 0), Radius: 5},
+		},
+		DestRadius: 1,
+	}
+	i, d := w.NearestObstacle(vec.New(0, 0, 0))
+	if i != 0 || math.Abs(d-8) > 1e-9 {
+		t.Errorf("NearestObstacle = %d,%v, want 0,8", i, d)
+	}
+	i, d = w.NearestObstacle(vec.New(0, 28, 0))
+	if i != 1 || math.Abs(d+3) > 1e-9 {
+		t.Errorf("NearestObstacle = %d,%v, want 1,-3 (inside)", i, d)
+	}
+}
+
+func TestNearestObstacleEmpty(t *testing.T) {
+	w := &World{DestRadius: 1}
+	i, d := w.NearestObstacle(vec.Zero)
+	if i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty world NearestObstacle = %d,%v", i, d)
+	}
+}
+
+func TestWorldValidate(t *testing.T) {
+	ok := &World{Obstacles: []Obstacle{{Radius: 1}}, DestRadius: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid world rejected: %v", err)
+	}
+	if err := (&World{Obstacles: []Obstacle{{Radius: 0}}, DestRadius: 2}).Validate(); err == nil {
+		t.Error("zero-radius obstacle accepted")
+	}
+	if err := (&World{DestRadius: 0}).Validate(); err == nil {
+		t.Error("zero destination radius accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package svg
+
+import (
+	"testing"
+
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/vec"
+)
+
+// twoDroneTrajectory builds a trajectory marching two drones north past
+// an obstacle at y=50, with the minimum inter-distance placed at a
+// chosen sample.
+func twoDroneTrajectory(minAt int, samples int) *sim.Trajectory {
+	traj := &sim.Trajectory{}
+	for s := 0; s < samples; s++ {
+		y := float64(s) * 10
+		gap := 8.0
+		if s == minAt {
+			gap = 4.0
+		}
+		traj.Times = append(traj.Times, float64(s))
+		traj.Positions = append(traj.Positions, []vec.Vec3{
+			vec.New(-gap/2, y, 10), vec.New(gap/2, y, 10),
+		})
+		traj.Velocities = append(traj.Velocities, []vec.Vec3{
+			vec.New(0, 2, 0), vec.New(0, 2, 0),
+		})
+		traj.MeanInterDist = append(traj.MeanInterDist, gap)
+	}
+	return traj
+}
+
+func obstacleMission(t *testing.T) *sim.Mission {
+	t.Helper()
+	cfg := sim.DefaultMissionConfig(2, 1)
+	m, err := sim.NewMission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the obstacle at y=50 on the migration axis for the synthetic
+	// trajectories above.
+	m.World.Obstacles[0] = sim.Obstacle{Center: vec.New(0, 50, 0), Radius: 4}
+	return m
+}
+
+func TestClosestSnapshotNearObstacleRestricts(t *testing.T) {
+	m := obstacleMission(t)
+	// Global minimum inter-distance at sample 9 (y=90, far past the
+	// obstacle); near the obstacle (y=50, sample 5) the gap is larger.
+	traj := twoDroneTrajectory(9, 10)
+	traj.MeanInterDist[5] = 6 // local minimum within the window
+
+	global, err := ClosestSnapshot(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.Time != 9 {
+		t.Fatalf("global t_clo = %v, want 9", global.Time)
+	}
+
+	near, err := ClosestSnapshotNearObstacle(traj, m, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window ±25m around y=50 covers samples y∈[25,75] → s∈{3..7};
+	// the minimum mean inter-distance there is at s=5.
+	if near.Time != 5 {
+		t.Errorf("restricted t_clo = %v, want 5", near.Time)
+	}
+}
+
+func TestClosestSnapshotNearObstacleFallsBack(t *testing.T) {
+	m := obstacleMission(t)
+	// Move the obstacle far away laterally so no sample is within the
+	// window: must fall back to the global t_clo.
+	m.World.Obstacles[0].Center = vec.New(1000, 50, 0)
+	traj := twoDroneTrajectory(3, 6)
+	snap, err := ClosestSnapshotNearObstacle(traj, m, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Time != 3 {
+		t.Errorf("fallback t_clo = %v, want global 3", snap.Time)
+	}
+}
+
+func TestClosestSnapshotNearObstacleNil(t *testing.T) {
+	m := obstacleMission(t)
+	if _, err := ClosestSnapshotNearObstacle(nil, m, 25); err == nil {
+		t.Error("nil trajectory accepted")
+	}
+	if _, err := ClosestSnapshotNearObstacle(&sim.Trajectory{}, m, 25); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	v := New(1, 2, 3)
+	w := New(4, -5, 6)
+	if got, want := v.Add(w), New(5, -3, 9); got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := v.Sub(w), New(-3, 7, -3); got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+}
+
+func TestScaleNeg(t *testing.T) {
+	v := New(1, -2, 3)
+	if got, want := v.Scale(2), New(2, -4, 6); got != want {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+	if got, want := v.Neg(), New(-1, 2, -3); got != want {
+		t.Errorf("Neg = %v, want %v", got, want)
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	x := New(1, 0, 0)
+	y := New(0, 1, 0)
+	z := New(0, 0, 1)
+	if got := x.Dot(y); got != 0 {
+		t.Errorf("x·y = %v, want 0", got)
+	}
+	if got := x.Cross(y); got != z {
+		t.Errorf("x×y = %v, want %v", got, z)
+	}
+	if got := y.Cross(x); got != z.Neg() {
+		t.Errorf("y×x = %v, want %v", got, z.Neg())
+	}
+}
+
+func TestNormDist(t *testing.T) {
+	v := New(3, 4, 0)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.NormSq(); got != 25 {
+		t.Errorf("NormSq = %v, want 25", got)
+	}
+	if got := v.Dist(New(0, 0, 0)); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestHorizontalDist(t *testing.T) {
+	v := New(0, 0, 100)
+	w := New(3, 4, -50)
+	if got := v.HorizontalDist(w); got != 5 {
+		t.Errorf("HorizontalDist = %v, want 5 (Z must be ignored)", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	v := New(0, 3, 4)
+	u := v.Unit()
+	if math.Abs(u.Norm()-1) > 1e-12 {
+		t.Errorf("Unit norm = %v, want 1", u.Norm())
+	}
+	if Zero.Unit() != Zero {
+		t.Errorf("Unit of zero vector must be zero")
+	}
+}
+
+func TestClampNorm(t *testing.T) {
+	v := New(3, 4, 0)
+	if got := v.ClampNorm(10); got != v {
+		t.Errorf("ClampNorm should not change short vectors: got %v", got)
+	}
+	c := v.ClampNorm(1)
+	if math.Abs(c.Norm()-1) > 1e-12 {
+		t.Errorf("ClampNorm norm = %v, want 1", c.Norm())
+	}
+	if got := v.ClampNorm(0); got != Zero {
+		t.Errorf("ClampNorm(0) = %v, want zero", got)
+	}
+	if got := v.ClampNorm(-1); got != Zero {
+		t.Errorf("ClampNorm(-1) = %v, want zero", got)
+	}
+}
+
+func TestPerpXY(t *testing.T) {
+	// Flying north (+Y): right is east (+X).
+	north := New(0, 1, 0)
+	if got := north.PerpXY(); !got.ApproxEqual(New(1, 0, 0), 1e-12) {
+		t.Errorf("PerpXY(north) = %v, want east", got)
+	}
+	// Flying east (+X): right is south (-Y).
+	east := New(1, 0, 0)
+	if got := east.PerpXY(); !got.ApproxEqual(New(0, -1, 0), 1e-12) {
+		t.Errorf("PerpXY(east) = %v, want south", got)
+	}
+	// Purely vertical vector has no horizontal perpendicular.
+	if got := New(0, 0, 5).PerpXY(); got != Zero {
+		t.Errorf("PerpXY(vertical) = %v, want zero", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := New(0, 0, 0)
+	b := New(10, -10, 4)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v, want %v", got, a)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v, want %v", got, b)
+	}
+	if got, want := a.Lerp(b, 0.5), New(5, -5, 2); !got.ApproxEqual(want, 1e-12) {
+		t.Errorf("Lerp(0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if New(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if New(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != Zero {
+		t.Errorf("Mean(nil) = %v, want zero", got)
+	}
+	vs := []Vec3{New(1, 0, 0), New(3, 2, -2)}
+	if got, want := Mean(vs), New(2, 1, -1); !got.ApproxEqual(want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got, want := New(1, 2, 3).String(), "(1.000, 2.000, 3.000)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// clampComponents keeps quick-generated values in a numerically sane
+// range so property tolerances are meaningful.
+func clampComponents(v Vec3) Vec3 {
+	c := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 1
+		}
+		return math.Mod(x, 1e6)
+	}
+	return Vec3{c(v.X), c(v.Y), c(v.Z)}
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		a, b = clampComponents(a), clampComponents(b)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSubAddInverse(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		a, b = clampComponents(a), clampComponents(b)
+		got := a.Add(b).Sub(b)
+		return got.ApproxEqual(a, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCrossOrthogonal(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		a, b = clampComponents(a), clampComponents(b)
+		c := a.Cross(b)
+		// |a·(a×b)| should be ~0 relative to the magnitudes involved.
+		scale := a.Norm() * c.Norm()
+		if scale == 0 {
+			return true
+		}
+		return math.Abs(a.Dot(c))/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropTriangleInequality(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		a, b = clampComponents(a), clampComponents(b)
+		return a.Add(b).Norm() <= a.Norm()+b.Norm()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropClampNormNeverExceeds(t *testing.T) {
+	f := func(a Vec3, m float64) bool {
+		a = clampComponents(a)
+		m = math.Abs(math.Mod(m, 1e3))
+		return a.ClampNorm(m).Norm() <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPerpXYOrthogonal(t *testing.T) {
+	f := func(a Vec3) bool {
+		a = clampComponents(a)
+		p := a.PerpXY()
+		if p == Zero {
+			return true
+		}
+		if math.Abs(p.Norm()-1) > 1e-9 {
+			return false
+		}
+		return math.Abs(p.Dot(a.Horizontal()))/a.Horizontal().Norm() < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnitNorm(t *testing.T) {
+	f := func(a Vec3) bool {
+		a = clampComponents(a)
+		u := a.Unit()
+		if a.Norm() == 0 {
+			return u == Zero
+		}
+		return math.Abs(u.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
