@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet plus the full test suite under the race
+# detector (the campaign engine's worker pool must stay race-clean).
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

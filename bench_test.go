@@ -8,6 +8,8 @@
 package swarmfuzz_bench
 
 import (
+	"context"
+
 	"testing"
 
 	"swarmfuzz/internal/experiments"
@@ -36,7 +38,7 @@ func benchConfig(missions int) experiments.Config {
 func BenchmarkTable1SuccessRates(b *testing.B) {
 	cfg := benchConfig(2)
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.Grid(cfg, fuzz.SwarmFuzz{})
+		cells, err := experiments.Grid(context.Background(), cfg, fuzz.SwarmFuzz{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +60,7 @@ func BenchmarkTable1SuccessRates(b *testing.B) {
 func BenchmarkTable2SearchIterations(b *testing.B) {
 	cfg := benchConfig(2)
 	for i := 0; i < b.N; i++ {
-		cell, err := experiments.RunCampaign(cfg, fuzz.SwarmFuzz{}, 5, 10)
+		cell, err := experiments.RunCampaign(context.Background(), cfg, fuzz.SwarmFuzz{}, 5, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +77,7 @@ func BenchmarkTable3Ablation(b *testing.B) {
 	fuzzers := []fuzz.Fuzzer{fuzz.SwarmFuzz{}, fuzz.RFuzz{}, fuzz.GFuzz{}, fuzz.SFuzz{}}
 	for i := 0; i < b.N; i++ {
 		for _, f := range fuzzers {
-			if _, err := experiments.RunCampaign(cfg, f, 5, 10); err != nil {
+			if _, err := experiments.RunCampaign(context.Background(), cfg, f, 5, 10); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -112,7 +114,7 @@ func BenchmarkFig5Convexity(b *testing.B) {
 func BenchmarkFig6CumulativeSuccess(b *testing.B) {
 	cfg := benchConfig(2)
 	for i := 0; i < b.N; i++ {
-		cell, err := experiments.RunCampaign(cfg, fuzz.SwarmFuzz{}, 5, 10)
+		cell, err := experiments.RunCampaign(context.Background(), cfg, fuzz.SwarmFuzz{}, 5, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +162,7 @@ func BenchmarkFig6VDOCDF(b *testing.B) {
 func BenchmarkFig7SpoofParams(b *testing.B) {
 	cfg := benchConfig(2)
 	for i := 0; i < b.N; i++ {
-		cell, err := experiments.RunCampaign(cfg, fuzz.SwarmFuzz{}, 5, 10)
+		cell, err := experiments.RunCampaign(context.Background(), cfg, fuzz.SwarmFuzz{}, 5, 10)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,35 +6,69 @@
 //
 //	experiments -exp table1 -missions 100
 //	experiments -exp table3 -missions 50
-//	experiments -exp all -missions 20
+//	experiments -exp all -missions 20 -checkpoint out/ckpt -timeout 2m
 //
 // The -missions flag trades fidelity for runtime; the paper uses 100
-// missions per configuration.
+// missions per configuration. Long campaigns are fault-isolated:
+// -timeout bounds each mission's fuzzing, failed missions degrade into
+// errored outcomes instead of aborting, and -checkpoint persists each
+// finished grid cell so an interrupted run resumes where it left off.
+// The first ^C cancels the campaign gracefully (checkpointed cells are
+// kept); a second ^C kills the process.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"swarmfuzz/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	ctx, stop := withInterrupt(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted (checkpointed cells kept)")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "experiments:", strings.TrimPrefix(err.Error(), "experiments: "))
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// withInterrupt returns a context cancelled by the first SIGINT or
+// SIGTERM; a second signal terminates the process immediately.
+func withInterrupt(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "\ninterrupt: finishing gracefully — ^C again to kill")
+		cancel()
+		<-ch
+		os.Exit(130)
+	}()
+	return ctx, func() { signal.Stop(ch); cancel() }
+}
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|all")
-		missions = fs.Int("missions", 30, "missions per configuration (paper: 100)")
-		csvDir   = fs.String("csv", "", "directory to write raw CSV series into (optional)")
-		seed     = fs.Uint64("seed", 1, "base mission seed")
+		exp        = fs.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|all")
+		missions   = fs.Int("missions", 30, "missions per configuration (paper: 100)")
+		csvDir     = fs.String("csv", "", "directory to write raw CSV series into (optional)")
+		seed       = fs.Uint64("seed", 1, "base mission seed")
+		timeout    = fs.Duration("timeout", 0, "per-mission fuzzing deadline (0 = none)")
+		checkpoint = fs.String("checkpoint", "", "directory to persist finished grid cells into and resume from")
+		retries    = fs.Int("retries", 2, "extra attempts for transiently-failed missions (deadline misses)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,23 +76,26 @@ func run(args []string) error {
 
 	cfg := experiments.DefaultConfig(*missions)
 	cfg.BaseSeed = *seed
+	cfg.MissionTimeout = *timeout
+	cfg.Checkpoint = *checkpoint
+	cfg.Retry.MaxAttempts = 1 + *retries
 
 	runner := experiments.NewRunner(cfg, os.Stdout, *csvDir)
 	switch strings.ToLower(*exp) {
 	case "table1":
-		return runner.Table1()
+		return runner.Table1(ctx)
 	case "table2":
-		return runner.Table2()
+		return runner.Table2(ctx)
 	case "table3":
-		return runner.Table3()
+		return runner.Table3(ctx)
 	case "fig5":
-		return runner.Fig5()
+		return runner.Fig5(ctx)
 	case "fig6":
-		return runner.Fig6()
+		return runner.Fig6(ctx)
 	case "fig7":
-		return runner.Fig7()
+		return runner.Fig7(ctx)
 	case "all":
-		return runner.All()
+		return runner.All(ctx)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}

@@ -4,29 +4,59 @@
 // Usage:
 //
 //	swarmfuzz -n 5 -seed 3 -dist 10
-//	swarmfuzz -n 10 -seed 7 -dist 5 -fuzzer r_fuzz
+//	swarmfuzz -n 10 -seed 7 -dist 5 -fuzzer r_fuzz -timeout 1m
+//
+// The run is fault-isolated: -timeout bounds the fuzzing wall-clock,
+// a panicking fuzzer is reported as an error instead of crashing, and
+// ^C cancels gracefully (a second ^C kills).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"swarmfuzz/internal/flock"
 	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := withInterrupt(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "swarmfuzz: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "swarmfuzz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// withInterrupt returns a context cancelled by the first SIGINT or
+// SIGTERM; a second signal terminates the process immediately.
+func withInterrupt(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "\ninterrupt: finishing gracefully — ^C again to kill")
+		cancel()
+		<-ch
+		os.Exit(130)
+	}()
+	return ctx, func() { signal.Stop(ch); cancel() }
+}
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("swarmfuzz", flag.ContinueOnError)
 	var (
 		n       = fs.Int("n", 5, "swarm size")
@@ -34,6 +64,7 @@ func run(args []string) error {
 		dist    = fs.Float64("dist", 10, "GPS spoofing deviation d (m)")
 		name    = fs.String("fuzzer", "swarmfuzz", "fuzzer: swarmfuzz|r_fuzz|g_fuzz|s_fuzz")
 		maxIter = fs.Int("iters", 20, "max search iterations per seed")
+		timeout = fs.Duration("timeout", 0, "fuzzing deadline (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,14 +85,19 @@ func run(args []string) error {
 	opts := fuzz.DefaultOptions()
 	opts.MaxIterPerSeed = *maxIter
 
-	rep, err := fuzzer.Fuzz(fuzz.Input{
-		Mission:       mission,
-		Controller:    ctrl,
-		SpoofDistance: *dist,
-	}, opts)
+	rep, err := robust.Call(ctx, *timeout, func() (*fuzz.Report, error) {
+		return fuzzer.Fuzz(fuzz.Input{
+			Mission:       mission,
+			Controller:    ctrl,
+			SpoofDistance: *dist,
+		}, opts)
+	})
 	if errors.Is(err, fuzz.ErrUnsafeMission) {
 		fmt.Println("mission fails its initial no-attack test; pick another seed")
 		return nil
+	}
+	if errors.Is(err, robust.ErrDeadline) {
+		return fmt.Errorf("no verdict within %v; raise -timeout or lower -iters", *timeout)
 	}
 	if err != nil {
 		return err

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -32,7 +34,7 @@ func main() {
 	fmt.Printf("comparing fuzzers on 5 drones, 10m spoofing, %d missions each\n\n", missions)
 	fmt.Printf("%-10s  %-12s  %-15s\n", "fuzzer", "success rate", "avg iterations")
 	for _, f := range fuzzers {
-		cell, err := experiments.RunCampaign(cfg, f, 5, 10)
+		cell, err := experiments.RunCampaign(context.Background(), cfg, f, 5, 10)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -32,7 +34,7 @@ func main() {
 	cfg := experiments.DefaultConfig(missions)
 	fmt.Printf("fuzzing %d missions per configuration (paper: 100)\n\n", missions)
 
-	cells, err := experiments.Grid(cfg, fuzz.SwarmFuzz{})
+	cells, err := experiments.Grid(context.Background(), cfg, fuzz.SwarmFuzz{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint files: one JSON document per grid cell, named after the
+// cell's configuration. Cells are only ever written whole (temp file +
+// atomic rename), so a file that exists is a finished cell — a run
+// killed mid-cell leaves no trace of it and the cell re-runs on
+// resume. Campaigns are deterministic, so a resumed grid renders
+// byte-identical tables to an uninterrupted one.
+
+// checkpointFile returns the cell's file name within a checkpoint
+// directory.
+func checkpointFile(swarmSize int, spoofDistance float64) string {
+	return fmt.Sprintf("cell_n%d_d%g.json", swarmSize, spoofDistance)
+}
+
+// SaveCheckpoint atomically persists a completed cell into dir,
+// creating the directory as needed.
+func SaveCheckpoint(dir string, cell *CampaignResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: checkpoint dir: %w", err)
+	}
+	data, err := json.MarshalIndent(cell, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: encode checkpoint: %w", err)
+	}
+	final := filepath.Join(dir, checkpointFile(cell.SwarmSize, cell.SpoofDistance))
+	tmp, err := os.CreateTemp(dir, "cell_*.tmp")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiments: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("experiments: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("experiments: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint returns the persisted cell for the given
+// configuration, or nil when dir holds none. A file that exists but
+// does not decode is an error: checkpoints are written atomically, so
+// corruption means something outside this engine touched the file.
+func LoadCheckpoint(dir string, swarmSize int, spoofDistance float64) (*CampaignResult, error) {
+	path := filepath.Join(dir, checkpointFile(swarmSize, spoofDistance))
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: read checkpoint: %w", err)
+	}
+	var cell CampaignResult
+	if err := json.Unmarshal(data, &cell); err != nil {
+		return nil, fmt.Errorf("experiments: decode checkpoint %s: %w", path, err)
+	}
+	if cell.SwarmSize != swarmSize || cell.SpoofDistance != spoofDistance {
+		return nil, fmt.Errorf("experiments: checkpoint %s is for n=%d d=%g, want n=%d d=%g",
+			path, cell.SwarmSize, cell.SpoofDistance, swarmSize, spoofDistance)
+	}
+	return &cell, nil
+}

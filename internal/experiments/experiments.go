@@ -9,14 +9,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"swarmfuzz/internal/flock"
 	"swarmfuzz/internal/fuzz"
 	"swarmfuzz/internal/metrics"
+	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/sim"
 )
 
@@ -37,6 +41,19 @@ type Config struct {
 	Flock flock.Params
 	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// MissionTimeout is the per-mission fuzzing deadline; a mission
+	// that exceeds it is recorded as an errored outcome. 0 disables
+	// the deadline.
+	MissionTimeout time.Duration
+	// Retry governs re-attempts of transiently-failed missions
+	// (deadline misses and errors marked robust.Transient). The zero
+	// value means a single attempt.
+	Retry robust.Policy
+	// Checkpoint, when non-empty, is a directory Grid persists each
+	// completed cell into (one JSON file per cell, written
+	// atomically); a resumed Grid run loads finished cells from it
+	// instead of re-fuzzing them.
+	Checkpoint string
 }
 
 // DefaultConfig returns the paper's evaluation campaign, scaled by
@@ -49,6 +66,7 @@ func DefaultConfig(missions int) Config {
 		BaseSeed:       1,
 		Fuzz:           fuzz.DefaultOptions(),
 		Flock:          flock.DefaultParams(),
+		Retry:          robust.DefaultPolicy(),
 	}
 }
 
@@ -66,6 +84,14 @@ type MissionOutcome struct {
 	// Start and Duration are the discovered spoofing parameters
 	// (meaningful when Found).
 	Start, Duration float64
+	// Err is the failure that degraded this mission (panic, deadline,
+	// divergence, …), empty for a healthy outcome. Errored missions
+	// stay in the cell — counted as not-found — so one bad mission
+	// never aborts a campaign.
+	Err string `json:",omitempty"`
+	// Retries is how many extra fuzzing attempts the mission needed
+	// (0 when the first attempt settled it).
+	Retries int `json:",omitempty"`
 }
 
 // CampaignResult aggregates one (swarm size, spoof distance) cell.
@@ -78,6 +104,17 @@ type CampaignResult struct {
 	// SkippedUnsafe counts sampled missions rejected by the initial
 	// no-attack test.
 	SkippedUnsafe int
+}
+
+// Errored returns the number of degraded (errored) mission outcomes.
+func (c *CampaignResult) Errored() int {
+	n := 0
+	for _, o := range c.Outcomes {
+		if o.Err != "" {
+			n++
+		}
+	}
+	return n
 }
 
 // SuccessRate returns the fraction of missions with an SPV found.
@@ -139,7 +176,14 @@ func (c *CampaignResult) FoundParams() (starts, durations []float64) {
 // Mission seeds are drawn sequentially from the base seed; missions
 // whose initial test collides are counted in SkippedUnsafe and
 // replaced, mirroring SwarmFuzz's step-1 precondition.
-func RunCampaign(cfg Config, fuzzer fuzz.Fuzzer, swarmSize int, spoofDistance float64) (*CampaignResult, error) {
+//
+// The campaign is fault-isolated: a mission whose fuzzing panics,
+// diverges, or exceeds cfg.MissionTimeout is retried per cfg.Retry
+// and, if still failing, recorded as a degraded outcome (Err set,
+// Found false) — the rest of the cell completes. Only campaign-setup
+// failures (mission generation, the sequential clean runs) and ctx
+// cancellation abort the cell.
+func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize int, spoofDistance float64) (*CampaignResult, error) {
 	ctrl, err := flock.New(cfg.Flock)
 	if err != nil {
 		return nil, err
@@ -157,11 +201,15 @@ func RunCampaign(cfg Config, fuzzer fuzz.Fuzzer, swarmSize int, spoofDistance fl
 	// select the clean-safe seeds sequentially (cheap runs), then fan
 	// out the expensive fuzzing.
 	type job struct {
-		seed    uint64
-		mission *sim.Mission
+		seed     uint64
+		mission  *sim.Mission
+		cleanVDO float64
 	}
 	var jobs []job
 	for seed := cfg.BaseSeed; len(jobs) < cfg.Missions; seed++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if seed-cfg.BaseSeed > uint64(cfg.Missions)*100 {
 			return nil, fmt.Errorf("experiments: could not find %d clean-safe missions (n=%d)",
 				cfg.Missions, swarmSize)
@@ -178,56 +226,105 @@ func RunCampaign(cfg Config, fuzzer fuzz.Fuzzer, swarmSize int, spoofDistance fl
 			result.SkippedUnsafe++
 			continue
 		}
-		jobs = append(jobs, job{seed: seed, mission: mission})
+		vdo, _ := metrics.VDO(clean.MinClearance)
+		jobs = append(jobs, job{seed: seed, mission: mission, cleanVDO: vdo})
 	}
 
 	outcomes := make([]MissionOutcome, len(jobs))
-	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i, j := range jobs {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rep, err := fuzzer.Fuzz(fuzz.Input{
-				Mission:       j.mission,
-				Controller:    ctrl,
-				SpoofDistance: spoofDistance,
-			}, cfg.Fuzz)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			o := MissionOutcome{Seed: j.seed, VDO: rep.VDO, Found: rep.Found}
-			if rep.Found {
-				o.Iterations = rep.IterationsToFind
-				o.Start = rep.Findings[0].Plan.Start
-				o.Duration = rep.Findings[0].Plan.Duration
-			}
-			outcomes[i] = o
+			outcomes[i] = fuzzMission(ctx, cfg, fuzzer, ctrl, spoofDistance, j.seed, j.mission, j.cleanVDO)
 		}(i, j)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	result.Outcomes = outcomes
 	return result, nil
 }
 
+// fuzzMission runs one mission's fuzzing under the fault-isolation
+// layer: panics become errors, the per-mission deadline is enforced,
+// and transient failures are retried. Failures degrade the outcome
+// instead of propagating.
+func fuzzMission(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, ctrl sim.Controller,
+	spoofDistance float64, seed uint64, mission *sim.Mission, cleanVDO float64) MissionOutcome {
+	o := MissionOutcome{Seed: seed, VDO: cleanVDO}
+	rep, attempts, err := robust.Retry(ctx, cfg.Retry, func(ctx context.Context) (*fuzz.Report, error) {
+		return robust.Call(ctx, cfg.MissionTimeout, func() (*fuzz.Report, error) {
+			return fuzzer.Fuzz(fuzz.Input{
+				Mission:       mission,
+				Controller:    ctrl,
+				SpoofDistance: spoofDistance,
+			}, cfg.Fuzz)
+		})
+	})
+	o.Retries = attempts - 1
+	if err != nil {
+		// A cancelled campaign discards the cell anyway; anything else
+		// is this mission's own failure and degrades only its outcome.
+		o.Err = err.Error()
+		return o
+	}
+	o.VDO = rep.VDO
+	o.Found = rep.Found
+	if rep.Found {
+		o.Iterations = rep.IterationsToFind
+		o.Start = rep.Findings[0].Plan.Start
+		o.Duration = rep.Findings[0].Plan.Duration
+	}
+	return o
+}
+
 // Grid runs the full size × distance campaign grid (Tables I and II,
-// Figs. 6 and 7) with the given fuzzer.
-func Grid(cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResult, error) {
+// Figs. 6 and 7) with the given fuzzer. With cfg.Checkpoint set, each
+// completed cell is persisted atomically and a restarted Grid resumes
+// from the finished cells; an interrupted cell re-runs from scratch,
+// which — the campaign being deterministic — yields the same cell an
+// uninterrupted run would have produced. On cancellation Grid returns
+// the cells completed so far alongside ctx.Err().
+func Grid(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResult, error) {
 	var out []*CampaignResult
 	for _, d := range cfg.SpoofDistances {
 		for _, n := range cfg.SwarmSizes {
-			cell, err := RunCampaign(cfg, fuzzer, n, d)
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			if cfg.Checkpoint != "" {
+				cell, err := LoadCheckpoint(cfg.Checkpoint, n, d)
+				if err != nil {
+					return out, err
+				}
+				if cell != nil {
+					if len(cell.Outcomes) != cfg.Missions {
+						return out, fmt.Errorf("experiments: checkpoint %s holds %d missions, want %d; use a fresh -checkpoint dir when changing -missions",
+							filepath.Join(cfg.Checkpoint, checkpointFile(n, d)), len(cell.Outcomes), cfg.Missions)
+					}
+					out = append(out, cell)
+					continue
+				}
+			}
+			cell, err := RunCampaign(ctx, cfg, fuzzer, n, d)
 			if err != nil {
-				return nil, err
+				return out, err
+			}
+			if cfg.Checkpoint != "" {
+				if err := SaveCheckpoint(cfg.Checkpoint, cell); err != nil {
+					return out, err
+				}
 			}
 			out = append(out, cell)
 		}

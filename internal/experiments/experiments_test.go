@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func TestDefaultConfig(t *testing.T) {
 
 func TestRunCampaignBasics(t *testing.T) {
 	cfg := fastConfig(3)
-	cell, err := RunCampaign(cfg, fuzz.RFuzz{}, 3, 10)
+	cell, err := RunCampaign(context.Background(), cfg, fuzz.RFuzz{}, 3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +54,11 @@ func TestRunCampaignBasics(t *testing.T) {
 
 func TestRunCampaignDeterministic(t *testing.T) {
 	cfg := fastConfig(2)
-	a, err := RunCampaign(cfg, fuzz.RFuzz{}, 3, 10)
+	a, err := RunCampaign(context.Background(), cfg, fuzz.RFuzz{}, 3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunCampaign(cfg, fuzz.RFuzz{}, 3, 10)
+	b, err := RunCampaign(context.Background(), cfg, fuzz.RFuzz{}, 3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestRunnerTable3Fast(t *testing.T) {
 	r := NewRunner(cfg, &sb, "")
 	// Table3 runs all four fuzzers but with the fast config each costs
 	// only a few simulations.
-	if err := r.Table3(); err != nil {
+	if err := r.Table3(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -152,7 +153,7 @@ func TestRunnerTable1Fast(t *testing.T) {
 	cfg := fastConfig(1)
 	var sb strings.Builder
 	r := NewRunner(cfg, &sb, "")
-	if err := r.Table1(); err != nil {
+	if err := r.Table1(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Table I") {
@@ -160,7 +161,7 @@ func TestRunnerTable1Fast(t *testing.T) {
 	}
 	// The grid is cached: a second table must not re-run the campaign.
 	lenBefore := len(sb.String())
-	if err := r.Table2(); err != nil {
+	if err := r.Table2(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String()[lenBefore:], "Table II") {

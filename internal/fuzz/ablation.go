@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"fmt"
 	"math"
 
 	"swarmfuzz/internal/gps"
@@ -108,6 +109,8 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 		rep.IterationsToFind += iters
 		rep.SimRuns += sims
 		if err != nil {
+			rep.SeedErrors = append(rep.SeedErrors,
+				fmt.Sprintf("seed T%d-V%d: %v", seed.Target, seed.Victim, err))
 			return rep, err
 		}
 		if finding != nil {

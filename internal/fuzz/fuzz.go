@@ -165,6 +165,11 @@ type Report struct {
 	// SimRuns is the total number of mission simulations, including
 	// gradient probes and the initial test.
 	SimRuns int
+	// SeedErrors records per-seed search failures (simulation errors
+	// during the parameter search). A non-empty list means the seed
+	// walk was aborted; Fuzz also returns the failure as an error so
+	// callers cannot mistake an aborted walk for an exhausted one.
+	SeedErrors []string
 }
 
 // ErrUnsafeMission is returned when the initial no-attack test already

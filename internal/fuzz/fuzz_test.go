@@ -2,11 +2,13 @@ package fuzz
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"swarmfuzz/internal/flock"
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/svg"
 )
 
 // testMission returns a short, deterministic mission with the obstacle
@@ -267,5 +269,33 @@ func TestMinOf(t *testing.T) {
 	}
 	if got := minOf([]float64{5}); got != 5 {
 		t.Errorf("minOf single = %v, want 5", got)
+	}
+}
+
+func TestRunScheduledPropagatesSeedErrors(t *testing.T) {
+	m := testMission(t, 3, 1)
+	ctrl := testController(t)
+	in := Input{Mission: m, Controller: ctrl, SpoofDistance: 10}
+	clean, err := runClean(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MaxIterPerSeed = 2
+
+	// A seed whose target is out of range makes every evaluation fail:
+	// the walk must record the failure and return it, not pretend the
+	// seed list was exhausted.
+	rep := &Report{}
+	badSeed := svg.Seed{Target: 99, Victim: 0, Direction: gps.Right}
+	err = runScheduled(in, []svg.Seed{badSeed}, clean, opts, rep)
+	if err == nil {
+		t.Fatal("seed-search failure swallowed")
+	}
+	if len(rep.SeedErrors) != 1 || !strings.Contains(rep.SeedErrors[0], "T99-V0") {
+		t.Errorf("SeedErrors = %v, want one entry naming seed T99-V0", rep.SeedErrors)
+	}
+	if rep.SeedsTried != 1 {
+		t.Errorf("SeedsTried = %d, want 1", rep.SeedsTried)
 	}
 }

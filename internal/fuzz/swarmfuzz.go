@@ -1,6 +1,8 @@
 package fuzz
 
 import (
+	"fmt"
+
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/graph"
 	"swarmfuzz/internal/sim"
@@ -38,7 +40,9 @@ func (SwarmFuzz) Fuzz(in Input, opts Options) (*Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	runScheduled(in, seeds, clean, opts, rep)
+	if err := runScheduled(in, seeds, clean, opts, rep); err != nil {
+		return rep, err
+	}
 	return rep, nil
 }
 
@@ -69,8 +73,11 @@ func scheduleSeeds(in Input, clean *sim.Result, opts Options) ([]svg.Seed, error
 }
 
 // runScheduled walks the seed list running the gradient search on each
-// seed, stopping at the first SPV (step 3 of Fig. 3).
-func runScheduled(in Input, seeds []svg.Seed, clean *sim.Result, opts Options, rep *Report) {
+// seed, stopping at the first SPV (step 3 of Fig. 3). A seed whose
+// search fails is recorded on rep.SeedErrors and aborts the walk with
+// an error — the report carries what was done so far, and the caller
+// can tell an aborted walk from an exhausted one.
+func runScheduled(in Input, seeds []svg.Seed, clean *sim.Result, opts Options, rep *Report) error {
 	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
 		seeds = seeds[:opts.MaxSeeds]
 	}
@@ -80,16 +87,17 @@ func runScheduled(in Input, seeds []svg.Seed, clean *sim.Result, opts Options, r
 		rep.SimRuns += res.Evals
 		rep.IterationsToFind += res.Iters
 		if err != nil {
-			// Simulation errors abort the campaign for this mission;
-			// the report carries what was done so far.
-			return
+			rep.SeedErrors = append(rep.SeedErrors,
+				fmt.Sprintf("seed T%d-V%d: %v", seed.Target, seed.Victim, err))
+			return fmt.Errorf("fuzz: seed T%d-V%d search failed: %w", seed.Target, seed.Victim, err)
 		}
 		if finding != nil {
 			rep.Found = true
 			rep.Findings = append(rep.Findings, *finding)
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 func minOf(xs []float64) float64 {

@@ -1,0 +1,169 @@
+package robust
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGuardPassesThrough(t *testing.T) {
+	v, err := Guard(func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("Guard = %v, %v", v, err)
+	}
+	want := errors.New("boom")
+	if _, err := Guard(func() (int, error) { return 0, want }); !errors.Is(err, want) {
+		t.Fatalf("Guard error = %v, want %v", err, want)
+	}
+}
+
+func TestGuardRecoversPanic(t *testing.T) {
+	_, err := Guard(func() (int, error) { panic("kaboom") })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if !bytes.Contains(pe.Stack, []byte("TestGuardRecoversPanic")) {
+		t.Errorf("stack does not name the panicking frame:\n%s", pe.Stack)
+	}
+	if strings.Contains(pe.Error(), "goroutine") {
+		t.Errorf("Error() leaks the stack: %q", pe.Error())
+	}
+	if IsTransient(err) {
+		t.Error("panics must classify permanent")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	base := errors.New("disk on fire")
+	if IsTransient(base) {
+		t.Error("unmarked errors must default to permanent")
+	}
+	if !IsTransient(Transient(base)) {
+		t.Error("Transient mark ignored")
+	}
+	if IsTransient(Permanent(Transient(base))) {
+		t.Error("outer Permanent must override inner Transient")
+	}
+	if !IsTransient(ErrDeadline) {
+		t.Error("deadline misses must classify transient")
+	}
+	if Transient(nil) != nil || Permanent(nil) != nil {
+		t.Error("nil must stay nil")
+	}
+	wrapped := Transient(base)
+	if !errors.Is(wrapped, base) {
+		t.Error("classification must not hide the cause chain")
+	}
+}
+
+func TestCallDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	start := time.Now()
+	_, err := Call(context.Background(), 20*time.Millisecond, func() (int, error) {
+		<-release // hang well past the deadline
+		return 1, nil
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Call blocked %v on a hung fn", elapsed)
+	}
+	if !IsTransient(err) {
+		t.Error("deadline errors must classify transient")
+	}
+}
+
+func TestCallSuccessAndPanic(t *testing.T) {
+	v, err := Call(context.Background(), time.Second, func() (string, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("Call = %q, %v", v, err)
+	}
+	if _, err := Call(context.Background(), time.Second, func() (string, error) { panic(3) }); !errors.Is(err, ErrPanic) {
+		t.Fatalf("Call panic err = %v", err)
+	}
+}
+
+func TestCallCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Call(ctx, 0, func() (int, error) { return 1, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetryCounts(t *testing.T) {
+	calls := 0
+	v, attempts, err := Retry(context.Background(), Policy{MaxAttempts: 4}, func(context.Context) (int, error) {
+		calls++
+		if calls < 3 {
+			return 0, Transient(errors.New("flaky"))
+		}
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("Retry = %v, %v", v, err)
+	}
+	if attempts != 3 || calls != 3 {
+		t.Errorf("attempts = %d, calls = %d, want 3", attempts, calls)
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	calls := 0
+	boom := errors.New("deterministic")
+	_, attempts, err := Retry(context.Background(), Policy{MaxAttempts: 5}, func(context.Context) (int, error) {
+		calls++
+		return 0, boom
+	})
+	if !errors.Is(err, boom) || attempts != 1 || calls != 1 {
+		t.Fatalf("attempts = %d, calls = %d, err = %v; want one attempt", attempts, calls, err)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	calls := 0
+	_, attempts, err := Retry(context.Background(), Policy{MaxAttempts: 3}, func(context.Context) (int, error) {
+		calls++
+		return 0, Transient(errors.New("always flaky"))
+	})
+	if err == nil || attempts != 3 || calls != 3 {
+		t.Fatalf("attempts = %d, calls = %d, err = %v; want 3 attempts and an error", attempts, calls, err)
+	}
+}
+
+func TestRetryHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, _, err := Retry(ctx, Policy{MaxAttempts: 10, BaseDelay: time.Hour}, func(context.Context) (int, error) {
+		calls++
+		return 0, Transient(errors.New("flaky"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (no backoff sleep on a dead context)", calls)
+	}
+}
+
+func TestPolicyBackoff(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 300 * time.Millisecond}
+	for i, want := range []time.Duration{100, 200, 300, 300} {
+		if got := p.backoff(i + 1); got != want*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, want*time.Millisecond)
+		}
+	}
+}

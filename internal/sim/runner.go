@@ -7,6 +7,7 @@ import (
 	"swarmfuzz/internal/comms"
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/vec"
 )
 
@@ -155,6 +156,11 @@ type RunOptions struct {
 	// RecordTrajectory enables trajectory recording (needed for the
 	// initial test-run; skipped during fuzzing iterations for speed).
 	RecordTrajectory bool
+	// StepBudget, when positive, caps the number of integration steps.
+	// A run that exhausts the budget before completing returns an
+	// error wrapping robust.ErrDiverged instead of a garbage
+	// trajectory. 0 means the MaxTime/Dt bound only.
+	StepBudget int
 }
 
 // errNilController is returned when RunOptions lack a controller.
@@ -212,6 +218,11 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 	readings := make([]gps.Reading, n)
 	cmds := make([]vec.Vec3, n)
 	steps := int(cfg.MaxTime / cfg.Dt)
+	budgetCapped := false
+	if opts.StepBudget > 0 && opts.StepBudget < steps {
+		steps = opts.StepBudget
+		budgetCapped = true
+	}
 	tEnd := cfg.MaxTime
 
 	for step := 0; step <= steps; step++ {
@@ -250,9 +261,16 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 			obsIdx++
 		}
 
-		// Actuate.
+		// Actuate, guarding against numerical divergence: a state that
+		// leaves the realm of finite numbers poisons every derived
+		// metric (clearances, SVG weights, gradients), so the run is
+		// aborted rather than aggregated.
 		for i := 0; i < n; i++ {
 			bodies[i].Step(cmds[i], cfg.Body, cfg.Dt)
+			if !bodies[i].Crashed && (!bodies[i].Pos.IsFinite() || !bodies[i].Vel.IsFinite()) {
+				return nil, fmt.Errorf("sim: drone %d state non-finite at t=%.2fs (pos %v, vel %v): %w",
+					i, t, bodies[i].Pos, bodies[i].Vel, robust.ErrDiverged)
+			}
 		}
 
 		// Collision detection on true positions.
@@ -314,6 +332,10 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 		}
 	}
 
+	if budgetCapped && !res.Completed {
+		return nil, fmt.Errorf("sim: step budget %d exhausted before completion: %w",
+			opts.StepBudget, robust.ErrDiverged)
+	}
 	res.Duration = tEnd
 	res.Trajectory = traj
 	return res, nil

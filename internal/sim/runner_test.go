@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"swarmfuzz/internal/comms"
 	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/vec"
 )
 
@@ -279,3 +281,45 @@ func TestTrajectoryClosestSampleEmpty(t *testing.T) {
 func vecNew(x, y, z float64) vec.Vec3 { return vec.New(x, y, z) }
 
 func meanVec(vs []vec.Vec3) vec.Vec3 { return vec.Mean(vs) }
+
+// nanController returns a non-finite command after the given time,
+// driving the integrator's state out of the finite domain.
+type nanController struct{ after float64 }
+
+func (c nanController) Command(p Perception, _ []comms.State, w *World) vec.Vec3 {
+	if p.Time >= c.after {
+		return vec.New(math.NaN(), 0, 0)
+	}
+	return w.Destination.Sub(p.GPS.Position).Horizontal().Unit()
+}
+
+func TestRunDivergenceGuard(t *testing.T) {
+	m, err := NewMission(smallConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(m, RunOptions{Controller: nanController{after: 1}})
+	if !errors.Is(err, robust.ErrDiverged) {
+		t.Fatalf("err = %v, want robust.ErrDiverged", err)
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	m, err := NewMission(smallConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget too small for the mission must refuse instead of
+	// returning a truncated result.
+	if _, err := Run(m, RunOptions{Controller: straightController{speed: 2}, StepBudget: 3}); !errors.Is(err, robust.ErrDiverged) {
+		t.Fatalf("err = %v, want robust.ErrDiverged", err)
+	}
+	// A generous budget must not change the result.
+	res, err := Run(m, RunOptions{Controller: straightController{speed: 2}, StepBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Error("mission must complete under a generous step budget")
+	}
+}
