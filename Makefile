@@ -18,5 +18,11 @@ race:
 # detector (the campaign engine's worker pool must stay race-clean).
 check: build vet race
 
+# bench smoke-runs every benchmark once and leaves the telemetry
+# pipeline's throughput figures (missions/s, ns/sim-step) in
+# BENCH_telemetry.json; it also re-verifies the telemetry package under
+# the race detector, since its registry and trace writer are the only
+# code every worker goroutine shares.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	BENCH_OUT=$(CURDIR)/BENCH_telemetry.json $(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -race ./internal/telemetry/...

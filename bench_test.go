@@ -9,6 +9,9 @@ package swarmfuzz_bench
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"time"
 
 	"testing"
 
@@ -22,6 +25,7 @@ import (
 	"swarmfuzz/internal/rng"
 	"swarmfuzz/internal/sim"
 	"swarmfuzz/internal/svg"
+	"swarmfuzz/internal/telemetry"
 )
 
 // benchConfig returns a reduced campaign configuration sized for
@@ -172,6 +176,88 @@ func BenchmarkFig7SpoofParams(b *testing.B) {
 			b.ReportMetric(metrics.Mean(durs), "dt_mean_s")
 		}
 	}
+}
+
+// BenchmarkTelemetryPipeline runs a reduced campaign with the metrics
+// registry live and derives the pipeline's throughput from its own
+// counters: missions per second of campaign wall time and nanoseconds
+// per simulation step (from the sim wall-time histogram). When the
+// BENCH_OUT environment variable names a file, the figures are written
+// there as JSON so `make bench` leaves a machine-readable record.
+func BenchmarkTelemetryPipeline(b *testing.B) {
+	cfg := benchConfig(2)
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = telemetry.New(reg, nil)
+	var missions int64
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell, err := experiments.RunCampaign(context.Background(), cfg, fuzz.SwarmFuzz{}, 5, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		missions += int64(len(cell.Outcomes))
+	}
+	b.StopTimer()
+	elapsed := time.Since(start).Seconds()
+	snap := reg.Snapshot()
+	steps := snap.Counters[telemetry.MSimSteps]
+	simSeconds := snap.Histograms[telemetry.MSimWallSeconds].Sum
+	missionsPerSec := float64(missions) / elapsed
+	nsPerStep := 0.0
+	if steps > 0 {
+		nsPerStep = simSeconds * 1e9 / float64(steps)
+	}
+	b.ReportMetric(missionsPerSec, "missions/s")
+	b.ReportMetric(nsPerStep, "ns/sim-step")
+
+	if out := os.Getenv("BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(map[string]any{
+			"missions":         missions,
+			"missions_per_sec": missionsPerSec,
+			"ns_per_sim_step":  nsPerStep,
+			"sim_runs":         snap.Counters[telemetry.MSimRuns],
+			"sim_steps":        steps,
+			"sim_wall_seconds": simSeconds,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecorderOverhead compares a full mission simulation with
+// telemetry disabled (the no-op recorder the pipeline defaults to)
+// against one recording into a live registry, pinning the cost of the
+// instrumentation on the hot path.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(5, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(mission, sim.RunOptions{Controller: ctrl}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tel := telemetry.New(telemetry.NewRegistry(), nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(mission, sim.RunOptions{Controller: ctrl, Telemetry: tel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- micro-benchmarks for the substrates ---

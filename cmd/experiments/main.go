@@ -15,6 +15,13 @@
 // finished grid cell so an interrupted run resumes where it left off.
 // The first ^C cancels the campaign gracefully (checkpointed cells are
 // kept); a second ^C kills the process.
+//
+// Observability: -trace writes a JSONL span trace (campaign → mission
+// → pipeline stages), -metrics a JSON snapshot of the campaign
+// counters, -pprof serves net/http/pprof plus live /metrics, and
+// -progress logs a periodic one-line summary (missions/s, cracked,
+// retries, ETA) to stderr. Tables and figures go to stdout; logs go to
+// stderr.
 package main
 
 import (
@@ -26,32 +33,35 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"swarmfuzz/internal/experiments"
+	"swarmfuzz/internal/telemetry"
 )
 
 func main() {
-	ctx, stop := withInterrupt(context.Background())
+	log := telemetry.NewLogger(os.Stderr, telemetry.LevelInfo)
+	ctx, stop := withInterrupt(context.Background(), log)
 	defer stop()
-	if err := run(ctx, os.Args[1:]); err != nil {
+	if err := run(ctx, os.Args[1:], log); err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "experiments: interrupted (checkpointed cells kept)")
+			log.Errorf("experiments: interrupted (checkpointed cells kept)")
 			os.Exit(130)
 		}
-		fmt.Fprintln(os.Stderr, "experiments:", strings.TrimPrefix(err.Error(), "experiments: "))
+		log.Errorf("experiments: %s", strings.TrimPrefix(err.Error(), "experiments: "))
 		os.Exit(1)
 	}
 }
 
 // withInterrupt returns a context cancelled by the first SIGINT or
 // SIGTERM; a second signal terminates the process immediately.
-func withInterrupt(parent context.Context) (context.Context, func()) {
+func withInterrupt(parent context.Context, log *telemetry.Logger) (context.Context, func()) {
 	ctx, cancel := context.WithCancel(parent)
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ch
-		fmt.Fprintln(os.Stderr, "\ninterrupt: finishing gracefully — ^C again to kill")
+		log.Warnf("interrupt: finishing gracefully — ^C again to kill")
 		cancel()
 		<-ch
 		os.Exit(130)
@@ -59,7 +69,7 @@ func withInterrupt(parent context.Context) (context.Context, func()) {
 	return ctx, func() { signal.Stop(ch); cancel() }
 }
 
-func run(ctx context.Context, args []string) error {
+func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		exp        = fs.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|all")
@@ -69,9 +79,25 @@ func run(ctx context.Context, args []string) error {
 		timeout    = fs.Duration("timeout", 0, "per-mission fuzzing deadline (0 = none)")
 		checkpoint = fs.String("checkpoint", "", "directory to persist finished grid cells into and resume from")
 		retries    = fs.Int("retries", 2, "extra attempts for transiently-failed missions (deadline misses)")
+		progress   = fs.Duration("progress", 30*time.Second, "interval between progress summaries (0 = none)")
 	)
+	tf := telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	tel, err := tf.Start(log)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if *progress > 0 {
+		stop := telemetry.StartProgress(ctx, log, tel.Rec.Registry(), *progress)
+		defer stop()
 	}
 
 	cfg := experiments.DefaultConfig(*missions)
@@ -79,6 +105,8 @@ func run(ctx context.Context, args []string) error {
 	cfg.MissionTimeout = *timeout
 	cfg.Checkpoint = *checkpoint
 	cfg.Retry.MaxAttempts = 1 + *retries
+	cfg.Telemetry = tel.Rec
+	cfg.Log = log
 
 	runner := experiments.NewRunner(cfg, os.Stdout, *csvDir)
 	switch strings.ToLower(*exp) {

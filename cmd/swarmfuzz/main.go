@@ -5,10 +5,15 @@
 //
 //	swarmfuzz -n 5 -seed 3 -dist 10
 //	swarmfuzz -n 10 -seed 7 -dist 5 -fuzzer r_fuzz -timeout 1m
+//	swarmfuzz -n 5 -seed 3 -trace trace.jsonl -metrics metrics.json
 //
 // The run is fault-isolated: -timeout bounds the fuzzing wall-clock,
 // a panicking fuzzer is reported as an error instead of crashing, and
-// ^C cancels gracefully (a second ^C kills).
+// ^C cancels gracefully (a second ^C kills). Observability: -trace
+// writes a JSONL span trace of the pipeline stages, -metrics a JSON
+// snapshot of the run's counters and histograms, -pprof serves
+// net/http/pprof plus live /metrics, and -v/-quiet tune the stderr
+// log level. Results go to stdout; logs go to stderr.
 package main
 
 import (
@@ -25,30 +30,32 @@ import (
 	"swarmfuzz/internal/fuzz"
 	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/telemetry"
 )
 
 func main() {
-	ctx, stop := withInterrupt(context.Background())
+	log := telemetry.NewLogger(os.Stderr, telemetry.LevelInfo)
+	ctx, stop := withInterrupt(context.Background(), log)
 	defer stop()
-	if err := run(ctx, os.Args[1:]); err != nil {
+	if err := run(ctx, os.Args[1:], log); err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "swarmfuzz: interrupted")
+			log.Errorf("swarmfuzz: interrupted")
 			os.Exit(130)
 		}
-		fmt.Fprintln(os.Stderr, "swarmfuzz:", err)
+		log.Errorf("swarmfuzz: %v", err)
 		os.Exit(1)
 	}
 }
 
 // withInterrupt returns a context cancelled by the first SIGINT or
 // SIGTERM; a second signal terminates the process immediately.
-func withInterrupt(parent context.Context) (context.Context, func()) {
+func withInterrupt(parent context.Context, log *telemetry.Logger) (context.Context, func()) {
 	ctx, cancel := context.WithCancel(parent)
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ch
-		fmt.Fprintln(os.Stderr, "\ninterrupt: finishing gracefully — ^C again to kill")
+		log.Warnf("interrupt: finishing gracefully — ^C again to kill")
 		cancel()
 		<-ch
 		os.Exit(130)
@@ -56,7 +63,7 @@ func withInterrupt(parent context.Context) (context.Context, func()) {
 	return ctx, func() { signal.Stop(ch); cancel() }
 }
 
-func run(ctx context.Context, args []string) error {
+func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) {
 	fs := flag.NewFlagSet("swarmfuzz", flag.ContinueOnError)
 	var (
 		n       = fs.Int("n", 5, "swarm size")
@@ -66,6 +73,7 @@ func run(ctx context.Context, args []string) error {
 		maxIter = fs.Int("iters", 20, "max search iterations per seed")
 		timeout = fs.Duration("timeout", 0, "fuzzing deadline (0 = none)")
 	)
+	tf := telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +82,15 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	tel, err := tf.Start(log)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	ctrl, err := flock.New(flock.DefaultParams())
 	if err != nil {
 		return err
@@ -84,7 +101,14 @@ func run(ctx context.Context, args []string) error {
 	}
 	opts := fuzz.DefaultOptions()
 	opts.MaxIterPerSeed = *maxIter
+	opts.Telemetry = tel.Rec
 
+	span := tel.Rec.StartSpan(0, "mission",
+		telemetry.KV("fuzzer", fuzzer.Name()),
+		telemetry.KV("seed", *seed),
+		telemetry.KV("swarm_size", *n))
+	opts.TraceParent = span.ID()
+	log.Debugf("fuzzing mission seed %d (%d drones, d=%gm) with %s", *seed, *n, *dist, fuzzer.Name())
 	rep, err := robust.Call(ctx, *timeout, func() (*fuzz.Report, error) {
 		return fuzzer.Fuzz(fuzz.Input{
 			Mission:       mission,
@@ -92,6 +116,7 @@ func run(ctx context.Context, args []string) error {
 			SpoofDistance: *dist,
 		}, opts)
 	})
+	span.End(telemetry.KV("found", rep != nil && rep.Found))
 	if errors.Is(err, fuzz.ErrUnsafeMission) {
 		fmt.Println("mission fails its initial no-attack test; pick another seed")
 		return nil

@@ -21,16 +21,18 @@ import (
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/report"
 	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "swarmsim:", err)
+	log := telemetry.NewLogger(os.Stderr, telemetry.LevelInfo)
+	if err := run(os.Args[1:], log); err != nil {
+		log.Errorf("swarmsim: %v", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, log *telemetry.Logger) error {
 	fs := flag.NewFlagSet("swarmsim", flag.ContinueOnError)
 	var (
 		n       = fs.Int("n", 5, "swarm size")
@@ -41,9 +43,13 @@ func run(args []string) error {
 		dirStr  = fs.String("dir", "right", "spoofing direction: right|left")
 		dist    = fs.Float64("dist", 10, "spoofing distance d (m)")
 		trajCSV = fs.String("traj", "", "write the trajectory to this CSV file")
+		quiet   = fs.Bool("quiet", false, "log only errors")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *quiet {
+		log.SetLevel(telemetry.LevelError)
 	}
 
 	ctrl, err := flock.New(flock.DefaultParams())
@@ -94,7 +100,7 @@ func run(args []string) error {
 		if err := report.WriteTrajectoryCSV(f, res.Trajectory); err != nil {
 			return err
 		}
-		fmt.Printf("trajectory written to %s\n", *trajCSV)
+		log.Infof("trajectory written to %s", *trajCSV)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"swarmfuzz/internal/metrics"
 	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/telemetry"
 )
 
 // Config parameterises a campaign.
@@ -54,6 +56,13 @@ type Config struct {
 	// atomically); a resumed Grid run loads finished cells from it
 	// instead of re-fuzzing them.
 	Checkpoint string
+	// Telemetry receives campaign counters and trace spans, and is
+	// threaded down through fuzzing into the simulator; nil disables
+	// recording.
+	Telemetry telemetry.Recorder
+	// Log receives human-facing progress lines (conventionally on
+	// stderr, so stdout stays machine-parseable); nil is silent.
+	Log *telemetry.Logger
 }
 
 // DefaultConfig returns the paper's evaluation campaign, scaled by
@@ -192,6 +201,14 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	rec := telemetry.OrNop(cfg.Telemetry)
+	span := rec.StartSpan(0, "campaign",
+		telemetry.KV("fuzzer", fuzzer.Name()),
+		telemetry.KV("swarm_size", swarmSize),
+		telemetry.KV("spoof_distance", spoofDistance))
+	defer span.End()
+	cfg.Log.Debugf("campaign %s: %d drones, %gm spoofing, %d missions",
+		fuzzer.Name(), swarmSize, spoofDistance, cfg.Missions)
 
 	result := &CampaignResult{SwarmSize: swarmSize, SpoofDistance: spoofDistance}
 
@@ -218,7 +235,7 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 		if err != nil {
 			return nil, err
 		}
-		clean, err := sim.Run(mission, sim.RunOptions{Controller: ctrl})
+		clean, err := sim.Run(mission, sim.RunOptions{Controller: ctrl, Telemetry: cfg.Telemetry})
 		if err != nil {
 			return nil, err
 		}
@@ -229,6 +246,7 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 		vdo, _ := metrics.VDO(clean.MinClearance)
 		jobs = append(jobs, job{seed: seed, mission: mission, cleanVDO: vdo})
 	}
+	rec.Add(telemetry.MMissionsPlanned, int64(len(jobs)))
 
 	outcomes := make([]MissionOutcome, len(jobs))
 	var wg sync.WaitGroup
@@ -245,7 +263,7 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 		go func(i int, j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			outcomes[i] = fuzzMission(ctx, cfg, fuzzer, ctrl, spoofDistance, j.seed, j.mission, j.cleanVDO)
+			outcomes[i] = fuzzMission(ctx, cfg, fuzzer, ctrl, spoofDistance, j.seed, j.mission, j.cleanVDO, span.ID())
 		}(i, j)
 	}
 	wg.Wait()
@@ -259,21 +277,47 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 // fuzzMission runs one mission's fuzzing under the fault-isolation
 // layer: panics become errors, the per-mission deadline is enforced,
 // and transient failures are retried. Failures degrade the outcome
-// instead of propagating.
+// instead of propagating. Each mission gets its own trace span (the
+// fuzzer's stage spans nest under it) and feeds the campaign counters
+// the progress reporter derives its summary from.
 func fuzzMission(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, ctrl sim.Controller,
-	spoofDistance float64, seed uint64, mission *sim.Mission, cleanVDO float64) MissionOutcome {
+	spoofDistance float64, seed uint64, mission *sim.Mission, cleanVDO float64,
+	campaign telemetry.SpanID) MissionOutcome {
 	o := MissionOutcome{Seed: seed, VDO: cleanVDO}
+	rec := telemetry.OrNop(cfg.Telemetry)
+	span := rec.StartSpan(campaign, "mission", telemetry.KV("seed", seed))
+	fopts := cfg.Fuzz
+	fopts.Telemetry = cfg.Telemetry
+	fopts.TraceParent = span.ID()
 	rep, attempts, err := robust.Retry(ctx, cfg.Retry, func(ctx context.Context) (*fuzz.Report, error) {
 		return robust.Call(ctx, cfg.MissionTimeout, func() (*fuzz.Report, error) {
 			return fuzzer.Fuzz(fuzz.Input{
 				Mission:       mission,
 				Controller:    ctrl,
 				SpoofDistance: spoofDistance,
-			}, cfg.Fuzz)
+			}, fopts)
 		})
 	})
 	o.Retries = attempts - 1
+	defer func() {
+		rec.Add(telemetry.MMissionsDone, 1)
+		rec.Add(telemetry.MMissionRetries, int64(o.Retries))
+		if o.Found {
+			rec.Add(telemetry.MMissionsCracked, 1)
+		}
+		span.End(telemetry.KV("found", o.Found),
+			telemetry.KV("retries", o.Retries),
+			telemetry.KV("degraded", o.Err != ""))
+	}()
 	if err != nil {
+		rec.Add(telemetry.MMissionErrors, 1)
+		switch {
+		case errors.Is(err, robust.ErrPanic):
+			rec.Add(telemetry.MMissionPanics, 1)
+		case errors.Is(err, robust.ErrDeadline):
+			rec.Add(telemetry.MMissionDeadlineHits, 1)
+		}
+		cfg.Log.Warnf("mission seed %d degraded after %d attempts: %v", seed, attempts, err)
 		// A cancelled campaign discards the cell anyway; anything else
 		// is this mission's own failure and degrades only its outcome.
 		o.Err = err.Error()
@@ -297,6 +341,7 @@ func fuzzMission(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, ctrl sim.C
 // uninterrupted run would have produced. On cancellation Grid returns
 // the cells completed so far alongside ctx.Err().
 func Grid(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResult, error) {
+	rec := telemetry.OrNop(cfg.Telemetry)
 	var out []*CampaignResult
 	for _, d := range cfg.SpoofDistances {
 		for _, n := range cfg.SwarmSizes {
@@ -304,11 +349,16 @@ func Grid(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResul
 				return out, err
 			}
 			if cfg.Checkpoint != "" {
+				span := rec.StartSpan(0, "checkpoint_load",
+					telemetry.KV("swarm_size", n), telemetry.KV("spoof_distance", d))
 				cell, err := LoadCheckpoint(cfg.Checkpoint, n, d)
+				span.End(telemetry.KV("hit", cell != nil))
 				if err != nil {
 					return out, err
 				}
 				if cell != nil {
+					rec.Add(telemetry.MCheckpointLoads, 1)
+					cfg.Log.Infof("cell n=%d d=%gm resumed from checkpoint", n, d)
 					if len(cell.Outcomes) != cfg.Missions {
 						return out, fmt.Errorf("experiments: checkpoint %s holds %d missions, want %d; use a fresh -checkpoint dir when changing -missions",
 							filepath.Join(cfg.Checkpoint, checkpointFile(n, d)), len(cell.Outcomes), cfg.Missions)
@@ -322,9 +372,14 @@ func Grid(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResul
 				return out, err
 			}
 			if cfg.Checkpoint != "" {
-				if err := SaveCheckpoint(cfg.Checkpoint, cell); err != nil {
+				span := rec.StartSpan(0, "checkpoint_save",
+					telemetry.KV("swarm_size", n), telemetry.KV("spoof_distance", d))
+				err := SaveCheckpoint(cfg.Checkpoint, cell)
+				span.End()
+				if err != nil {
 					return out, err
 				}
+				rec.Add(telemetry.MCheckpointSaves, 1)
 			}
 			out = append(out, cell)
 		}

@@ -35,12 +35,14 @@ func NewRunner(cfg Config, w io.Writer, csvDir string) *Runner {
 	return &Runner{cfg: cfg, w: w, csvDir: csvDir}
 }
 
-// ensureGrid runs (once) the full SwarmFuzz campaign grid.
+// ensureGrid runs (once) the full SwarmFuzz campaign grid. Progress
+// goes to the configured logger (stderr by convention) so r.w carries
+// only the rendered results.
 func (r *Runner) ensureGrid(ctx context.Context) error {
 	if r.grid != nil {
 		return nil
 	}
-	fmt.Fprintf(r.w, "running SwarmFuzz campaign: sizes %v × distances %v × %d missions …\n",
+	r.cfg.Log.Infof("running SwarmFuzz campaign: sizes %v × distances %v × %d missions",
 		r.cfg.SwarmSizes, r.cfg.SpoofDistances, r.cfg.Missions)
 	grid, err := Grid(ctx, r.cfg, fuzz.SwarmFuzz{})
 	if err != nil {

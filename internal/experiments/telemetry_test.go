@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"swarmfuzz/internal/robust"
+	"swarmfuzz/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestCampaignTraceGolden pins the trace wire format: a sequential
+// stub-fuzzer campaign under a fake clock must emit a byte-identical
+// JSONL trace. Any change to span naming, field order, attribute
+// encoding or emission order shows up here as a diff.
+func TestCampaignTraceGolden(t *testing.T) {
+	cfg := fastConfig(3)
+	cfg.Workers = 1 // sequential missions: deterministic span IDs and clock draws
+	var buf bytes.Buffer
+	tel := telemetry.New(telemetry.NewRegistry(), &buf)
+	tel.SetClock((&telemetry.FakeClock{T: time.Unix(1700000000, 0).UTC(), Step: time.Millisecond}).Now)
+	cfg.Telemetry = tel
+
+	if _, err := RunCampaign(context.Background(), cfg, newStubFuzzer(), 3, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_stub_campaign.jsonl")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file (run with -update to regenerate):\n--- got ---\n%s--- want ---\n%s",
+			buf.String(), want)
+	}
+}
+
+// TestCampaignCounters pins the campaign-level accounting: fault
+// outcomes are classified into the panic/deadline/error counters, and
+// the planned/done/cracked/retries counters agree with the cell.
+func TestCampaignCounters(t *testing.T) {
+	cfg := fastConfig(5)
+	cfg.MissionTimeout = 50 * time.Millisecond
+	cfg.Retry = robust.Policy{MaxAttempts: 3}
+	seeds := selectedSeeds(t, cfg, 3, 10)
+	if len(seeds) != 5 {
+		t.Fatalf("selected %d seeds, want 5", len(seeds))
+	}
+
+	f := newStubFuzzer()
+	defer close(f.release)
+	f.panicOn[seeds[0]] = true
+	f.hangOn[seeds[1]] = true
+	f.flakyOn[seeds[2]] = 1
+
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = telemetry.New(reg, nil)
+	cell, err := RunCampaign(context.Background(), cfg, f, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+	want := map[string]int64{
+		telemetry.MMissionsPlanned:     5,
+		telemetry.MMissionsDone:        5,
+		telemetry.MMissionsCracked:     3, // flaky recovers, panic and hang degrade
+		telemetry.MMissionRetries:      3, // 2 deadline re-attempts + 1 flaky
+		telemetry.MMissionPanics:       1,
+		telemetry.MMissionDeadlineHits: 1,
+		telemetry.MMissionErrors:       2,
+	}
+	for name, v := range want {
+		if got := counter(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if got := counter(telemetry.MMissionsCracked); int(got) != 5-cell.Errored() {
+		t.Errorf("missions_cracked = %d disagrees with cell (errored %d)", got, cell.Errored())
+	}
+	// The clean-safe selection runs real simulations with the campaign
+	// recorder threaded through.
+	if counter(telemetry.MSimRuns) == 0 {
+		t.Error("clean-selection sim runs not recorded")
+	}
+}
+
+// TestGridCheckpointCounters pins checkpoint I/O accounting: a first
+// grid run saves its cell, a resumed run loads it instead.
+func TestGridCheckpointCounters(t *testing.T) {
+	cfg := fastConfig(2)
+	cfg.Checkpoint = t.TempDir()
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = telemetry.New(reg, nil)
+	ctx := context.Background()
+
+	if _, err := Grid(ctx, cfg, newStubFuzzer()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(telemetry.MCheckpointSaves).Value(); got != 1 {
+		t.Errorf("checkpoint_saves = %d after first run, want 1", got)
+	}
+	if got := reg.Counter(telemetry.MCheckpointLoads).Value(); got != 0 {
+		t.Errorf("checkpoint_loads = %d after first run, want 0", got)
+	}
+
+	if _, err := Grid(ctx, cfg, newStubFuzzer()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(telemetry.MCheckpointSaves).Value(); got != 1 {
+		t.Errorf("checkpoint_saves = %d after resume, want 1", got)
+	}
+	if got := reg.Counter(telemetry.MCheckpointLoads).Value(); got != 1 {
+		t.Errorf("checkpoint_loads = %d after resume, want 1", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"swarmfuzz/internal/rng"
 	"swarmfuzz/internal/sim"
 	"swarmfuzz/internal/svg"
+	"swarmfuzz/internal/telemetry"
 )
 
 // The three ablation fuzzers of §V-C. Each disables one or both of
@@ -28,7 +29,7 @@ func (RFuzz) Name() string { return "R_Fuzz" }
 
 // Fuzz implements Fuzzer.
 func (RFuzz) Fuzz(in Input, opts Options) (*Report, error) {
-	return fuzzWith(in, opts, RFuzz{}.Name(), randomSeeds, randomSearch)
+	return fuzzWith(in, opts, RFuzz{}.Name(), randomSeeds, randomSearch, "random_search")
 }
 
 // GFuzz chooses drone pairs randomly but searches the spoofing
@@ -42,7 +43,7 @@ func (GFuzz) Name() string { return "G_Fuzz" }
 
 // Fuzz implements Fuzzer.
 func (GFuzz) Fuzz(in Input, opts Options) (*Report, error) {
-	return fuzzWith(in, opts, GFuzz{}.Name(), randomSeeds, gradientSearch)
+	return fuzzWith(in, opts, GFuzz{}.Name(), randomSeeds, gradientSearch, "gradient_search")
 }
 
 // SFuzz schedules drone pairs with the SVG but samples the spoofing
@@ -56,16 +57,16 @@ func (SFuzz) Name() string { return "S_Fuzz" }
 
 // Fuzz implements Fuzzer.
 func (SFuzz) Fuzz(in Input, opts Options) (*Report, error) {
-	return fuzzWith(in, opts, SFuzz{}.Name(), scheduledSeeds, randomSearch)
+	return fuzzWith(in, opts, SFuzz{}.Name(), scheduledSeeds, randomSearch, "random_search")
 }
 
 // seedFn produces the ordered seed list for a mission.
-type seedFn func(in Input, clean *cleanRun, opts Options) ([]svg.Seed, error)
+type seedFn func(in Input, clean *cleanRun, opts Options, rec telemetry.Recorder) ([]svg.Seed, error)
 
 // searchFn searches one seed's parameter space; it returns the
-// iterations and simulation runs consumed and a finding if an SPV was
-// discovered.
-type searchFn func(in Input, seed svg.Seed, clean *cleanRun, opts Options) (iters, sims int, f *Finding, err error)
+// iterations consumed and a finding if an SPV was discovered.
+// Simulation runs are counted by sim.Run itself via the recorder.
+type searchFn func(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder) (iters int, f *Finding, err error)
 
 // cleanRun bundles the initial test result with the RNG used by the
 // random strategies, so randomness flows deterministically from
@@ -75,7 +76,11 @@ type cleanRun struct {
 	src *rng.Source
 }
 
-func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search searchFn) (*Report, error) {
+// fuzzWith is the instrumented fuzzing driver shared by all fuzzers:
+// clean run, seed scheduling, then the per-seed parameter search. Each
+// stage is traced (clean_run, seed_scheduling, then one searchStage
+// span per seed) and the stage counters feed the campaign registry.
+func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search searchFn, searchStage string) (*Report, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -83,37 +88,51 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 		return nil, err
 	}
 	rep := &Report{Fuzzer: name}
+	rec := reportRecorder{telemetry.OrNop(opts.Telemetry), rep}
 
-	clean, err := runClean(in)
+	span := rec.StartSpan(opts.TraceParent, "clean_run")
+	clean, err := runClean(in, rec)
 	rep.Clean = clean
-	rep.SimRuns++
 	if err != nil {
+		span.End(telemetry.KV("err", err.Error()))
 		return rep, err
 	}
+	span.End(telemetry.KV("duration_s", clean.Duration))
 	rep.VDO = minOf(clean.MinClearance)
 
 	cr := &cleanRun{
 		res: clean,
 		src: rng.Derive(opts.RandSeed^in.Mission.Config.Seed, "fuzz/"+name),
 	}
-	seeds, err := mkSeeds(in, cr, opts)
+	span = rec.StartSpan(opts.TraceParent, "seed_scheduling")
+	seeds, err := mkSeeds(in, cr, opts, rec)
 	if err != nil {
+		span.End(telemetry.KV("err", err.Error()))
 		return rep, err
 	}
 	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
 		seeds = seeds[:opts.MaxSeeds]
 	}
+	span.End(telemetry.KV("seeds", len(seeds)))
+	rec.Add(telemetry.MSeedsScheduled, int64(len(seeds)))
+
 	for _, seed := range seeds {
 		rep.SeedsTried++
-		iters, sims, finding, err := search(in, seed, cr, opts)
+		span := rec.StartSpan(opts.TraceParent, searchStage,
+			telemetry.KV("target", seed.Target),
+			telemetry.KV("victim", seed.Victim),
+			telemetry.KV("direction", seed.Direction.String()))
+		iters, finding, err := search(in, seed, cr, opts, rec)
 		rep.IterationsToFind += iters
-		rep.SimRuns += sims
+		rec.Add(telemetry.MSearchIters, int64(iters))
+		span.End(telemetry.KV("iters", iters), telemetry.KV("found", finding != nil))
 		if err != nil {
 			rep.SeedErrors = append(rep.SeedErrors,
 				fmt.Sprintf("seed T%d-V%d: %v", seed.Target, seed.Victim, err))
-			return rep, err
+			return rep, fmt.Errorf("fuzz: seed T%d-V%d search failed: %w", seed.Target, seed.Victim, err)
 		}
 		if finding != nil {
+			rec.Add(telemetry.MSeedsCracked, 1)
 			rep.Found = true
 			rep.Findings = append(rep.Findings, *finding)
 			return rep, nil
@@ -124,7 +143,7 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 
 // randomSeeds samples as many random ⟨T−V, θ⟩ seeds as the SVG
 // scheduler would produce at most: one per (victim, direction).
-func randomSeeds(in Input, clean *cleanRun, _ Options) ([]svg.Seed, error) {
+func randomSeeds(in Input, clean *cleanRun, _ Options, _ telemetry.Recorder) ([]svg.Seed, error) {
 	n := in.Mission.Config.NumDrones
 	count := 2 * n
 	seeds := make([]svg.Seed, 0, count)
@@ -149,21 +168,21 @@ func randomSeeds(in Input, clean *cleanRun, _ Options) ([]svg.Seed, error) {
 }
 
 // scheduledSeeds is the SVG scheduling shared with SwarmFuzz.
-func scheduledSeeds(in Input, clean *cleanRun, opts Options) ([]svg.Seed, error) {
-	return scheduleSeeds(in, clean.res, opts)
+func scheduledSeeds(in Input, clean *cleanRun, opts Options, rec telemetry.Recorder) ([]svg.Seed, error) {
+	return scheduleSeeds(in, clean.res, opts, rec)
 }
 
 // gradientSearch is the gradient-guided search shared with SwarmFuzz.
-func gradientSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options) (int, int, *Finding, error) {
-	res, finding, err := searchSeed(in, seed, clean.res, opts)
-	return res.Iters, res.Evals, finding, err
+func gradientSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder) (int, *Finding, error) {
+	res, finding, err := searchSeed(in, seed, clean.res, opts, rec)
+	return res.Iters, finding, err
 }
 
 // randomSearch samples (t_s, Δt) uniformly for up to MaxIterPerSeed
 // iterations.
-func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options) (int, int, *Finding, error) {
+func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder) (int, *Finding, error) {
 	horizon := clean.res.Duration
-	iters, sims := 0, 0
+	iters := 0
 	for iter := 0; iter < opts.MaxIterPerSeed; iter++ {
 		ts := clean.src.Uniform(0, horizon)
 		dt := clean.src.Uniform(0, math.Min(horizon-ts, 4*opts.InitDuration))
@@ -174,14 +193,13 @@ func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options) (int, 
 			Direction: seed.Direction,
 			Distance:  in.SpoofDistance,
 		}
-		ev, err := evaluate(in, plan, seed.Victim)
+		ev, err := evaluate(in, plan, seed.Victim, rec)
 		iters++
-		sims++
 		if err != nil {
-			return iters, sims, nil, err
+			return iters, nil, err
 		}
 		if ev.success {
-			return iters, sims, &Finding{
+			return iters, &Finding{
 				Plan:       plan,
 				Victim:     seed.Victim,
 				Objective:  ev.objective,
@@ -189,5 +207,5 @@ func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options) (int, 
 			}, nil
 		}
 	}
-	return iters, sims, nil, nil
+	return iters, nil, nil
 }

@@ -27,6 +27,7 @@ import (
 	"swarmfuzz/internal/opt"
 	"swarmfuzz/internal/sim"
 	"swarmfuzz/internal/svg"
+	"swarmfuzz/internal/telemetry"
 )
 
 // Input is one fuzzing problem: a mission, the swarm control algorithm
@@ -82,6 +83,14 @@ type Options struct {
 	InitDuration float64
 	// RandSeed drives the random fuzzers' sampling.
 	RandSeed uint64
+	// Telemetry receives the pipeline's counters and trace spans; nil
+	// disables recording (the hot paths then pay one no-op interface
+	// call).
+	Telemetry telemetry.Recorder
+	// TraceParent is the span the mission's stage spans are parented
+	// under (the caller's campaign or mission span); 0 makes them
+	// roots.
+	TraceParent telemetry.SpanID
 }
 
 // DefaultOptions returns the paper's parameterisation.
@@ -184,12 +193,31 @@ type Fuzzer interface {
 	Fuzz(in Input, opts Options) (*Report, error)
 }
 
+// reportRecorder forwards to the campaign's recorder while mirroring
+// the sim_runs counter into the report. sim.Run is the only place that
+// increments sim_runs, so Report.SimRuns and the metrics snapshot are
+// fed by a single counting site and can never disagree. Fuzzing one
+// mission is sequential, so the unsynchronised mirror is safe.
+type reportRecorder struct {
+	telemetry.Recorder
+	rep *Report
+}
+
+// Add implements telemetry.Recorder.
+func (r reportRecorder) Add(name string, delta int64) {
+	if name == telemetry.MSimRuns {
+		r.rep.SimRuns += int(delta)
+	}
+	r.Recorder.Add(name, delta)
+}
+
 // runClean executes the initial no-attack test with trajectory
 // recording (step 1 of Fig. 3).
-func runClean(in Input) (*sim.Result, error) {
+func runClean(in Input, rec telemetry.Recorder) (*sim.Result, error) {
 	res, err := sim.Run(in.Mission, sim.RunOptions{
 		Controller:       in.Controller,
 		RecordTrajectory: true,
+		Telemetry:        rec,
 	})
 	if err != nil {
 		return nil, err
@@ -209,10 +237,11 @@ type evaluation struct {
 	success   bool
 }
 
-func evaluate(in Input, plan gps.SpoofPlan, victim int) (evaluation, error) {
+func evaluate(in Input, plan gps.SpoofPlan, victim int, rec telemetry.Recorder) (evaluation, error) {
 	res, err := sim.Run(in.Mission, sim.RunOptions{
 		Controller: in.Controller,
 		Spoof:      &plan,
+		Telemetry:  rec,
 	})
 	if err != nil {
 		return evaluation{}, err
@@ -251,7 +280,7 @@ func approachTime(m *sim.Mission, traj *sim.Trajectory, lead float64) float64 {
 
 // searchSeed runs the gradient-guided search (step 3 of Fig. 3) for
 // one seed and reports the result.
-func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options) (opt.Result, *Finding, error) {
+func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options, rec telemetry.Recorder) (opt.Result, *Finding, error) {
 	horizon := clean.Duration
 	windowEnd := approachTime(in.Mission, clean.Trajectory, opts.ApproachLead) + opts.InitLead
 	ts0 := math.Max(0, windowEnd-opts.InitDuration)
@@ -269,7 +298,7 @@ func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options) (opt.R
 			Direction: seed.Direction,
 			Distance:  in.SpoofDistance,
 		}
-		ev, err := evaluate(in, plan, seed.Victim)
+		ev, err := evaluate(in, plan, seed.Victim, rec)
 		if err != nil {
 			simErr = err
 			return math.Inf(1)

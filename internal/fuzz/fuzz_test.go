@@ -9,6 +9,7 @@ import (
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/sim"
 	"swarmfuzz/internal/svg"
+	"swarmfuzz/internal/telemetry"
 )
 
 // testMission returns a short, deterministic mission with the obstacle
@@ -216,7 +217,7 @@ func TestEvaluateTargetCollisionNotSuccess(t *testing.T) {
 	// Evaluate a no-op plan (zero duration): nothing happens.
 	ev, err := evaluate(in, gps.SpoofPlan{
 		Target: 0, Start: 0, Duration: 0, Direction: gps.Right, Distance: 10,
-	}, 1)
+	}, 1, telemetry.Nop)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,23 +273,20 @@ func TestMinOf(t *testing.T) {
 	}
 }
 
-func TestRunScheduledPropagatesSeedErrors(t *testing.T) {
+func TestFuzzWithPropagatesSeedErrors(t *testing.T) {
 	m := testMission(t, 3, 1)
 	ctrl := testController(t)
 	in := Input{Mission: m, Controller: ctrl, SpoofDistance: 10}
-	clean, err := runClean(in)
-	if err != nil {
-		t.Fatal(err)
-	}
 	opts := DefaultOptions()
 	opts.MaxIterPerSeed = 2
 
 	// A seed whose target is out of range makes every evaluation fail:
 	// the walk must record the failure and return it, not pretend the
 	// seed list was exhausted.
-	rep := &Report{}
-	badSeed := svg.Seed{Target: 99, Victim: 0, Direction: gps.Right}
-	err = runScheduled(in, []svg.Seed{badSeed}, clean, opts, rep)
+	badSeeds := func(Input, *cleanRun, Options, telemetry.Recorder) ([]svg.Seed, error) {
+		return []svg.Seed{{Target: 99, Victim: 0, Direction: gps.Right}}, nil
+	}
+	rep, err := fuzzWith(in, opts, "BadSeedFuzz", badSeeds, gradientSearch, "gradient_search")
 	if err == nil {
 		t.Fatal("seed-search failure swallowed")
 	}

@@ -1,16 +1,17 @@
 package fuzz
 
 import (
-	"fmt"
-
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/graph"
 	"swarmfuzz/internal/sim"
 	"swarmfuzz/internal/svg"
+	"swarmfuzz/internal/telemetry"
 )
 
 // SwarmFuzz is the full fuzzer: SVG-based seed scheduling plus
-// gradient-guided parameter search.
+// gradient-guided parameter search. It runs on the same instrumented
+// driver as the ablation fuzzers (fuzzWith), with both heuristics
+// enabled.
 type SwarmFuzz struct{}
 
 var _ Fuzzer = SwarmFuzz{}
@@ -20,35 +21,12 @@ func (SwarmFuzz) Name() string { return "SwarmFuzz" }
 
 // Fuzz implements Fuzzer.
 func (SwarmFuzz) Fuzz(in Input, opts Options) (*Report, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	rep := &Report{Fuzzer: SwarmFuzz{}.Name()}
-
-	clean, err := runClean(in)
-	rep.Clean = clean
-	rep.SimRuns++
-	if err != nil {
-		return rep, err
-	}
-	rep.VDO = minOf(clean.MinClearance)
-
-	seeds, err := scheduleSeeds(in, clean, opts)
-	if err != nil {
-		return rep, err
-	}
-	if err := runScheduled(in, seeds, clean, opts, rep); err != nil {
-		return rep, err
-	}
-	return rep, nil
+	return fuzzWith(in, opts, SwarmFuzz{}.Name(), scheduledSeeds, gradientSearch, "gradient_search")
 }
 
 // scheduleSeeds builds both directions' SVGs at t_clo and orders the
 // target-victim seeds (step 2 of Fig. 3).
-func scheduleSeeds(in Input, clean *sim.Result, opts Options) ([]svg.Seed, error) {
+func scheduleSeeds(in Input, clean *sim.Result, opts Options, rec telemetry.Recorder) ([]svg.Seed, error) {
 	// t_clo restricted to the obstacle-interaction phase (±40 m of the
 	// obstacle along-track): the SVG probes influence *toward the
 	// obstacle*, which is only meaningful there.
@@ -67,37 +45,10 @@ func scheduleSeeds(in Input, clean *sim.Result, opts Options) ([]svg.Seed, error
 		if err != nil {
 			return nil, err
 		}
+		rec.Add(telemetry.MSVGBuilds, 1)
 		graphs[dir] = g
 	}
 	return svg.ScheduleK(graphs, clean.MinClearance, cfg.PageRank, opts.TargetsPerVictim)
-}
-
-// runScheduled walks the seed list running the gradient search on each
-// seed, stopping at the first SPV (step 3 of Fig. 3). A seed whose
-// search fails is recorded on rep.SeedErrors and aborts the walk with
-// an error — the report carries what was done so far, and the caller
-// can tell an aborted walk from an exhausted one.
-func runScheduled(in Input, seeds []svg.Seed, clean *sim.Result, opts Options, rep *Report) error {
-	if opts.MaxSeeds > 0 && len(seeds) > opts.MaxSeeds {
-		seeds = seeds[:opts.MaxSeeds]
-	}
-	for _, seed := range seeds {
-		rep.SeedsTried++
-		res, finding, err := searchSeed(in, seed, clean, opts)
-		rep.SimRuns += res.Evals
-		rep.IterationsToFind += res.Iters
-		if err != nil {
-			rep.SeedErrors = append(rep.SeedErrors,
-				fmt.Sprintf("seed T%d-V%d: %v", seed.Target, seed.Victim, err))
-			return fmt.Errorf("fuzz: seed T%d-V%d search failed: %w", seed.Target, seed.Victim, err)
-		}
-		if finding != nil {
-			rep.Found = true
-			rep.Findings = append(rep.Findings, *finding)
-			return nil
-		}
-	}
-	return nil
 }
 
 func minOf(xs []float64) float64 {

@@ -1,0 +1,95 @@
+package fuzz
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"swarmfuzz/internal/telemetry"
+)
+
+// TestSimRunsMatchesTelemetry pins the satellite fix: Report.SimRuns
+// is mirrored from the telemetry sim_runs counter (sim.Run is the
+// single counting site), so the report and a metrics snapshot can
+// never disagree.
+func TestSimRunsMatchesTelemetry(t *testing.T) {
+	for _, f := range []Fuzzer{SwarmFuzz{}, RFuzz{}, GFuzz{}, SFuzz{}} {
+		reg := telemetry.NewRegistry()
+		opts := DefaultOptions()
+		opts.Telemetry = telemetry.New(reg, nil)
+		opts.MaxIterPerSeed = 3
+		opts.MaxSeeds = 2
+		in := Input{Mission: testMission(t, 4, 4), Controller: testController(t), SpoofDistance: 10}
+		rep, err := f.Fuzz(in, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		if rep.SimRuns == 0 {
+			t.Errorf("%s: no sim runs recorded", f.Name())
+		}
+		if got := reg.Counter(telemetry.MSimRuns).Value(); got != int64(rep.SimRuns) {
+			t.Errorf("%s: sim_runs counter = %d, Report.SimRuns = %d", f.Name(), got, rep.SimRuns)
+		}
+		if got := reg.Counter(telemetry.MSearchIters).Value(); got != int64(rep.IterationsToFind) {
+			t.Errorf("%s: %s counter = %d, Report.IterationsToFind = %d",
+				f.Name(), telemetry.MSearchIters, got, rep.IterationsToFind)
+		}
+		if reg.Counter(telemetry.MSimSteps).Value() == 0 {
+			t.Errorf("%s: no sim steps recorded", f.Name())
+		}
+	}
+}
+
+// TestFuzzTraceStages asserts a traced SwarmFuzz run emits the
+// pipeline stage spans the paper's evaluation is profiled against.
+func TestFuzzTraceStages(t *testing.T) {
+	var buf bytes.Buffer
+	tel := telemetry.New(telemetry.NewRegistry(), &buf)
+	opts := DefaultOptions()
+	opts.Telemetry = tel
+	opts.MaxIterPerSeed = 2
+	opts.MaxSeeds = 1
+	in := Input{Mission: testMission(t, 3, 5), Controller: testController(t), SpoofDistance: 10}
+	if _, err := (SwarmFuzz{}).Fuzz(in, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line corrupt: %v: %s", err, sc.Text())
+		}
+		if ev.Type != "span" {
+			t.Errorf("unexpected event type %q", ev.Type)
+		}
+		got[ev.Name]++
+	}
+	for _, stage := range []string{"clean_run", "seed_scheduling", "gradient_search"} {
+		if got[stage] == 0 {
+			t.Errorf("trace missing %q span; got %v", stage, got)
+		}
+	}
+}
+
+// TestSVGBuildCounter pins the svg_builds counter: one build per
+// spoofing direction during seed scheduling.
+func TestSVGBuildCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	opts := DefaultOptions()
+	opts.Telemetry = telemetry.New(reg, nil)
+	opts.MaxIterPerSeed = 1
+	opts.MaxSeeds = 1
+	in := Input{Mission: testMission(t, 3, 5), Controller: testController(t), SpoofDistance: 10}
+	if _, err := (SwarmFuzz{}).Fuzz(in, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(telemetry.MSVGBuilds).Value(); got != 2 {
+		t.Errorf("svg_builds = %d, want 2 (one per direction)", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/rng"
 	"swarmfuzz/internal/robust"
+	"swarmfuzz/internal/telemetry"
 	"swarmfuzz/internal/vec"
 )
 
@@ -161,6 +162,9 @@ type RunOptions struct {
 	// error wrapping robust.ErrDiverged instead of a garbage
 	// trajectory. 0 means the MaxTime/Dt bound only.
 	StepBudget int
+	// Telemetry receives the run's counters (sim_runs, sim_steps) and
+	// its wall-time histogram sample; nil disables recording.
+	Telemetry telemetry.Recorder
 }
 
 // errNilController is returned when RunOptions lack a controller.
@@ -189,6 +193,19 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 		}
 		spoofer = gps.NewSpoofer(*opts.Spoof, m.Axis)
 	}
+
+	// Every run that passes validation counts as one simulation —
+	// including runs later aborted by divergence or the step budget,
+	// whose integration work was still spent. fuzz mirrors sim_runs
+	// into Report.SimRuns, making this the single counting site.
+	rec := telemetry.OrNop(opts.Telemetry)
+	wallStart := rec.Now()
+	stepsRun := 0
+	defer func() {
+		rec.Add(telemetry.MSimRuns, 1)
+		rec.Add(telemetry.MSimSteps, int64(stepsRun))
+		rec.Observe(telemetry.MSimWallSeconds, rec.Now().Sub(wallStart).Seconds())
+	}()
 
 	n := cfg.NumDrones
 	bodies := make([]Body, n)
@@ -226,6 +243,7 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 	tEnd := cfg.MaxTime
 
 	for step := 0; step <= steps; step++ {
+		stepsRun++
 		t := float64(step) * cfg.Dt
 
 		// (1) Sense: read GPS (with spoofing) and (2) broadcast state.

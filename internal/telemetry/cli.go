@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+)
+
+// Flags bundles the observability flags shared by the pipeline's
+// binaries: span tracing, metric snapshots, the pprof debug server and
+// log verbosity.
+type Flags struct {
+	// Trace is the JSONL span trace output path ("" disables tracing).
+	Trace string
+	// Metrics is the JSON metrics snapshot path, written on Close.
+	Metrics string
+	// Pprof is the debug server listen address ("" disables it).
+	Pprof string
+	// Verbose and Quiet adjust the log level from the default info.
+	Verbose, Quiet bool
+}
+
+// RegisterFlags registers the standard observability flags on fs.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write a JSONL span trace to this `file`")
+	fs.StringVar(&f.Metrics, "metrics", "", "write a JSON metrics snapshot to this `file` on exit")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and /metrics on this `addr` (e.g. localhost:6060)")
+	fs.BoolVar(&f.Verbose, "v", false, "verbose logging (debug level)")
+	fs.BoolVar(&f.Quiet, "quiet", false, "log only errors")
+	return f
+}
+
+// LogLevel returns the log level the flags select: debug with -v,
+// error-only with -quiet, info otherwise (-quiet wins over -v).
+func (f *Flags) LogLevel() Level {
+	switch {
+	case f.Quiet:
+		return LevelError
+	case f.Verbose:
+		return LevelDebug
+	}
+	return LevelInfo
+}
+
+// Session is one CLI run's wired-up observability: the recorder to
+// thread through the pipeline, plus the trace file and debug server
+// lifecycles. Close flushes and releases everything.
+type Session struct {
+	// Rec is the run's recorder; recording into the registry is always
+	// on (it is cheap), tracing only when -trace was given.
+	Rec *Telemetry
+	// Log is the logger passed to Start, levelled per the flags.
+	Log *Logger
+
+	metricsPath string
+	traceFile   *os.File
+	srv         *http.Server
+}
+
+// Start applies the flag-selected level to log, opens the trace file
+// and starts the debug server as requested, and returns the session.
+func (f *Flags) Start(log *Logger) (*Session, error) {
+	log.SetLevel(f.LogLevel())
+	s := &Session{Log: log, metricsPath: f.Metrics}
+	var trace io.Writer
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = file
+		trace = file
+	}
+	s.Rec = New(NewRegistry(), trace)
+	if f.Pprof != "" {
+		srv, addr, err := ServeDebug(f.Pprof, s.Rec.Registry())
+		if err != nil {
+			if s.traceFile != nil {
+				_ = s.traceFile.Close()
+			}
+			return nil, err
+		}
+		s.srv = srv
+		log.Infof("debug server on http://%s (/debug/pprof/, /metrics, /metrics.json)", addr)
+	}
+	return s, nil
+}
+
+// Close stops the debug server, writes the metrics snapshot and closes
+// the trace file, returning the first error encountered.
+func (s *Session) Close() error {
+	var first error
+	if s.srv != nil {
+		_ = s.srv.Close()
+	}
+	if s.metricsPath != "" {
+		f, err := os.Create(s.metricsPath)
+		if err != nil {
+			first = err
+		} else {
+			if err := s.Rec.Registry().Snapshot().WriteJSON(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts an HTTP debug server on addr exposing the standard
+// pprof handlers under /debug/pprof/, the registry's current state at
+// /metrics (Prometheus text format) and /metrics.json. It returns the
+// running server and the bound address (useful with a ":0" addr);
+// shut it down with srv.Close.
+func ServeDebug(addr string, reg *Registry) (srv *http.Server, boundAddr string, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// StartProgress launches a goroutine that logs a one-line campaign
+// summary at info level every interval, derived from the registry's
+// campaign counters (missions done/planned, cracked, retries) instead
+// of scattered Printfs: throughput in missions/s and an ETA from the
+// remaining planned missions. The returned stop function cancels the
+// reporter, emits a final line when any mission completed, and waits
+// for the goroutine to exit.
+func StartProgress(ctx context.Context, log *Logger, reg *Registry, interval time.Duration) (stop func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	start := time.Now()
+	line := func() {
+		elapsed := time.Since(start).Seconds()
+		if elapsed <= 0 {
+			return
+		}
+		mdone := reg.Counter(MMissionsDone).Value()
+		planned := reg.Counter(MMissionsPlanned).Value()
+		rate := float64(mdone) / elapsed
+		eta := "?"
+		if rate > 0 && planned > mdone {
+			eta = (time.Duration(float64(planned-mdone)/rate) * time.Second).Round(time.Second).String()
+		}
+		log.Infof("progress: %d/%d missions, %.2f missions/s, %d cracked, %d retries, ETA %s",
+			mdone, planned, rate,
+			reg.Counter(MMissionsCracked).Value(),
+			reg.Counter(MMissionRetries).Value(), eta)
+	}
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				line()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+		if reg.Counter(MMissionsDone).Value() > 0 {
+			line()
+		}
+	}
+}

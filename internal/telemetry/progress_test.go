@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressEmitsSummary(t *testing.T) {
+	var sb safeBuilder
+	log := NewLogger(&sb, LevelInfo)
+	reg := NewRegistry()
+	reg.Counter(MMissionsPlanned).Add(10)
+	reg.Counter(MMissionsDone).Add(4)
+	reg.Counter(MMissionsCracked).Add(2)
+	reg.Counter(MMissionRetries).Add(1)
+
+	stop := StartProgress(context.Background(), log, reg, time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(sb.String(), "progress:") && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+
+	out := sb.String()
+	if !strings.Contains(out, "progress: 4/10 missions") {
+		t.Errorf("progress line missing mission counts:\n%s", out)
+	}
+	if !strings.Contains(out, "2 cracked, 1 retries") {
+		t.Errorf("progress line missing cracked/retries:\n%s", out)
+	}
+	if !strings.Contains(out, "missions/s") || !strings.Contains(out, "ETA") {
+		t.Errorf("progress line missing rate/ETA:\n%s", out)
+	}
+}
+
+func TestProgressStopIsIdempotentWithNoWork(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartProgress(context.Background(), NewLogger(&safeBuilder{}, LevelInfo), reg, time.Hour)
+	stop() // no missions done: must return without emitting or hanging
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. All methods are safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed, ascending bucket bounds
+// (upper-inclusive, like Prometheus `le`), plus sum and count. The
+// bounds are fixed at registration so snapshots of the same registry
+// layout are always structurally identical.
+type Histogram struct {
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last bucket is +Inf
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// DefaultBuckets are the bucket bounds a histogram gets when none are
+// supplied at registration (seconds-scaled, like Prometheus defaults).
+var DefaultBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry holds named metrics. Metrics are created on first use and
+// live for the registry's lifetime; lookups after creation are
+// lock-cheap. The zero value is not usable — use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it when
+// absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it when absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given ascending bucket bounds when absent (DefaultBuckets when
+// none are supplied). Bounds passed for an existing histogram are
+// ignored: the first registration wins.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DefaultBuckets
+		}
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	// Bounds are the upper-inclusive bucket bounds; Counts has one
+	// extra entry for the +Inf bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Its
+// JSON encoding is deterministic: map keys are sorted by encoding/json.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.count,
+		}
+		h.mu.Unlock()
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing
+// newline. Output is deterministic for a given snapshot.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format, metrics sorted by name.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n",
+			name, cum, name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

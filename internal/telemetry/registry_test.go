@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("runs")
+	c.Add(3)
+	c.Add(2)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if reg.Counter("runs") != c {
+		t.Error("second Counter lookup returned a different instance")
+	}
+
+	g := reg.Gauge("workers")
+	g.Set(4)
+	g.Set(8)
+	if got := g.Value(); got != 8 {
+		t.Errorf("gauge = %v, want 8", got)
+	}
+
+	h := reg.Histogram("wall", 1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot().Histograms["wall"]
+	// Bounds are upper-inclusive: 0.5 and 1 land in le=1.
+	wantCounts := []uint64{2, 1, 1, 1}
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("bucket counts %v, want %v", s.Counts, wantCounts)
+	}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 106 {
+		t.Errorf("count/sum = %d/%v, want 5/106", s.Count, s.Sum)
+	}
+	// First registration wins: conflicting bounds are ignored.
+	if got := reg.Histogram("wall", 9, 99); got != h {
+		t.Error("re-registration returned a different histogram")
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b").Add(2)
+	reg.Counter("a").Add(1)
+	reg.Gauge("g").Set(1.5)
+	reg.Histogram("h", 1, 2).Observe(1.5)
+
+	var first bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		if err := reg.Snapshot().WriteJSON(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("snapshot JSON not deterministic:\n%s\nvs\n%s", first.String(), again.String())
+		}
+	}
+	var parsed Snapshot
+	if err := json.Unmarshal(first.Bytes(), &parsed); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if parsed.Counters["a"] != 1 || parsed.Counters["b"] != 2 {
+		t.Errorf("parsed counters = %v", parsed.Counters)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_runs").Add(7)
+	reg.Gauge("workers").Set(4)
+	h := reg.Histogram("wall", 1, 2)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sim_runs counter\nsim_runs 7\n",
+		"# TYPE workers gauge\nworkers 4\n",
+		"# TYPE wall histogram\n",
+		`wall_bucket{le="1"} 1`,
+		`wall_bucket{le="2"} 2`,
+		`wall_bucket{le="+Inf"} 3`,
+		"wall_sum 11\n",
+		"wall_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrency exercises every metric type from many
+// goroutines; run under -race it proves the registry is race-clean.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				reg.Counter("c").Add(1)
+				reg.Gauge("g").Set(float64(j))
+				reg.Histogram("h").Observe(float64(j) / 100)
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != 8*500 {
+		t.Errorf("counter = %d, want %d", got, 8*500)
+	}
+}

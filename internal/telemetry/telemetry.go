@@ -1,0 +1,193 @@
+// Package telemetry is the observability layer of the fuzzing
+// pipeline: a metrics registry (counters, gauges, histograms),
+// span-based tracing to a JSONL file, a leveled logger, a periodic
+// campaign progress reporter, and a pprof/metrics debug server.
+//
+// The pipeline records through the Recorder interface, threaded via
+// fuzz.Options, experiments.Config and sim.RunOptions. The default is
+// the no-op recorder, so instrumented hot paths pay one interface call
+// when telemetry is disabled. The package depends on nothing but the
+// standard library, and all output (metric snapshots, trace events) is
+// deterministic given a deterministic clock.
+package telemetry
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metric names recorded by the pipeline. Stage layers use these
+// constants so the registry, the progress reporter and tests agree on
+// spelling.
+const (
+	// MSimRuns counts completed calls to sim.Run — the unit of fuzzing
+	// cost. fuzz mirrors this counter into Report.SimRuns, so the two
+	// can never disagree.
+	MSimRuns = "sim_runs"
+	// MSimSteps counts integration steps across all simulations.
+	MSimSteps = "sim_steps"
+	// MSimWallSeconds is the wall-time histogram of single simulations.
+	MSimWallSeconds = "sim_wall_seconds"
+	// MSearchIters counts parameter-search iterations across seeds
+	// (gradient iterations for SwarmFuzz/G_Fuzz, random samples for
+	// R_Fuzz/S_Fuzz).
+	MSearchIters = "gradient_iterations"
+	// MSVGBuilds counts Swarm Vulnerability Graph constructions.
+	MSVGBuilds = "svg_builds"
+	// MSeedsScheduled counts target-victim seeds scheduled.
+	MSeedsScheduled = "seeds_scheduled"
+	// MSeedsCracked counts seeds whose search found an SPV.
+	MSeedsCracked = "seeds_cracked"
+	// MMissionsPlanned counts missions admitted into campaigns.
+	MMissionsPlanned = "missions_planned"
+	// MMissionsDone counts missions whose fuzzing settled.
+	MMissionsDone = "missions_done"
+	// MMissionsCracked counts missions with an SPV found.
+	MMissionsCracked = "missions_cracked"
+	// MMissionRetries counts extra fuzzing attempts after transient
+	// failures.
+	MMissionRetries = "mission_retries"
+	// MMissionPanics counts missions degraded by a recovered panic.
+	MMissionPanics = "mission_panics"
+	// MMissionDeadlineHits counts missions degraded by the per-mission
+	// deadline.
+	MMissionDeadlineHits = "mission_deadline_hits"
+	// MMissionErrors counts missions degraded by any failure.
+	MMissionErrors = "mission_errors"
+	// MCheckpointSaves and MCheckpointLoads count grid checkpoint I/O.
+	MCheckpointSaves = "checkpoint_saves"
+	MCheckpointLoads = "checkpoint_loads"
+)
+
+// histBounds fixes per-metric histogram bucket bounds. Metrics not
+// listed fall back to DefaultBuckets.
+var histBounds = map[string][]float64{
+	// Single simulations run in the low milliseconds.
+	MSimWallSeconds: {.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5},
+}
+
+// Recorder is the telemetry sink the pipeline records into. Stage code
+// holds a Recorder and never knows whether metrics or tracing are
+// actually enabled; use OrNop to normalise a possibly-nil Recorder.
+type Recorder interface {
+	// Now returns the recorder's notion of current time. The no-op
+	// recorder returns the zero time, so durations computed from it
+	// collapse to zero and cost nothing.
+	Now() time.Time
+	// StartSpan begins a traced operation under the given parent
+	// (0 for a root span). The returned Span must be ended.
+	StartSpan(parent SpanID, name string, attrs ...Attr) Span
+	// Add increments the named counter.
+	Add(name string, delta int64)
+	// Set replaces the named gauge value.
+	Set(name string, v float64)
+	// Observe records a value into the named histogram.
+	Observe(name string, v float64)
+}
+
+// nop discards everything.
+type nop struct{}
+
+func (nop) Now() time.Time                       { return time.Time{} }
+func (nop) StartSpan(SpanID, string, ...Attr) Span { return Span{} }
+func (nop) Add(string, int64)                    {}
+func (nop) Set(string, float64)                  {}
+func (nop) Observe(string, float64)              {}
+
+// Nop is the no-op Recorder.
+var Nop Recorder = nop{}
+
+// OrNop returns r, or the no-op recorder when r is nil.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+// Telemetry is the standard Recorder: a metrics registry plus an
+// optional JSONL trace stream. Safe for concurrent use.
+type Telemetry struct {
+	reg    *Registry
+	tw     *traceWriter
+	clock  func() time.Time
+	nextID atomic.Uint64
+}
+
+var _ Recorder = (*Telemetry)(nil)
+
+// New returns a Telemetry recording into reg (required) and, when
+// trace is non-nil, writing one JSONL span event per finished span.
+func New(reg *Registry, trace io.Writer) *Telemetry {
+	t := &Telemetry{reg: reg, clock: time.Now}
+	if trace != nil {
+		t.tw = &traceWriter{w: trace}
+	}
+	return t
+}
+
+// SetClock replaces the time source (default time.Now), for
+// deterministic traces in tests. Not safe to call concurrently with
+// recording.
+func (t *Telemetry) SetClock(now func() time.Time) { t.clock = now }
+
+// Registry returns the underlying metrics registry.
+func (t *Telemetry) Registry() *Registry { return t.reg }
+
+// Now implements Recorder.
+func (t *Telemetry) Now() time.Time { return t.clock() }
+
+// StartSpan implements Recorder. When tracing is disabled it returns
+// the zero Span.
+func (t *Telemetry) StartSpan(parent SpanID, name string, attrs ...Attr) Span {
+	if t.tw == nil {
+		return Span{}
+	}
+	return Span{
+		t:      t,
+		id:     SpanID(t.nextID.Add(1)),
+		parent: parent,
+		name:   name,
+		start:  t.clock(),
+		attrs:  attrs,
+	}
+}
+
+func (t *Telemetry) endSpan(s Span, extra []Attr) {
+	end := t.clock()
+	var attrs map[string]any
+	if n := len(s.attrs) + len(extra); n > 0 {
+		attrs = make(map[string]any, n)
+		for _, a := range s.attrs {
+			attrs[a.Key] = a.Value
+		}
+		for _, a := range extra {
+			attrs[a.Key] = a.Value
+		}
+	}
+	// A write failure (full disk, closed file) must not take down the
+	// campaign; tracing degrades silently.
+	_ = t.tw.write(spanEvent{
+		Type:    "span",
+		ID:      uint64(s.id),
+		Parent:  uint64(s.parent),
+		Name:    s.name,
+		StartUS: s.start.UnixMicro(),
+		EndUS:   end.UnixMicro(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+		Attrs:   attrs,
+	})
+}
+
+// Add implements Recorder.
+func (t *Telemetry) Add(name string, delta int64) { t.reg.Counter(name).Add(delta) }
+
+// Set implements Recorder.
+func (t *Telemetry) Set(name string, v float64) { t.reg.Gauge(name).Set(v) }
+
+// Observe implements Recorder, registering the metric's canonical
+// bucket bounds on first use.
+func (t *Telemetry) Observe(name string, v float64) {
+	t.reg.Histogram(name, histBounds[name]...).Observe(v)
+}

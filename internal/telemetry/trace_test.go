@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fakeClock() *FakeClock {
+	return &FakeClock{T: time.Unix(1700000000, 0).UTC(), Step: time.Millisecond}
+}
+
+func TestSpanJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tel := New(NewRegistry(), &buf)
+	tel.SetClock(fakeClock().Now)
+
+	root := tel.StartSpan(0, "campaign", KV("swarm_size", 5))
+	child := tel.StartSpan(root.ID(), "mission", KV("seed", 3))
+	child.End(KV("found", true))
+	root.End()
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d trace lines, want 2:\n%s", len(lines), buf.String())
+	}
+	// Spans are emitted at End: the child line comes first.
+	var ev spanEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 does not parse: %v", err)
+	}
+	if ev.Type != "span" || ev.Name != "mission" || ev.Parent != uint64(root.ID()) {
+		t.Errorf("child event = %+v", ev)
+	}
+	if ev.Attrs["seed"] != float64(3) || ev.Attrs["found"] != true {
+		t.Errorf("child attrs = %v, want start and end attrs merged", ev.Attrs)
+	}
+	if ev.DurUS != (ev.EndUS - ev.StartUS) {
+		t.Errorf("dur %d != end-start %d", ev.DurUS, ev.EndUS-ev.StartUS)
+	}
+	var rootEv spanEvent
+	if err := json.Unmarshal([]byte(lines[1]), &rootEv); err != nil {
+		t.Fatalf("line 1 does not parse: %v", err)
+	}
+	if rootEv.Name != "campaign" || rootEv.Parent != 0 {
+		t.Errorf("root event = %+v", rootEv)
+	}
+}
+
+func TestTraceDeterministicWithFakeClock(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		tel := New(NewRegistry(), &buf)
+		tel.SetClock(fakeClock().Now)
+		for i := 0; i < 3; i++ {
+			s := tel.StartSpan(0, "stage", KV("i", i))
+			s.End()
+		}
+		return buf.String()
+	}
+	if a, b := emit(), emit(); a != b {
+		t.Errorf("trace not byte-identical under fake clock:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestDisabledTracingAndNop(t *testing.T) {
+	tel := New(NewRegistry(), nil)
+	s := tel.StartSpan(0, "x")
+	if s.ID() != 0 {
+		t.Error("span allocated with tracing disabled")
+	}
+	s.End() // must not panic
+
+	Nop.Add("c", 1)
+	Nop.Set("g", 1)
+	Nop.Observe("h", 1)
+	Nop.StartSpan(0, "x").End()
+	if !Nop.Now().IsZero() {
+		t.Error("Nop.Now not zero")
+	}
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) != Nop")
+	}
+	if OrNop(tel) != Recorder(tel) {
+		t.Error("OrNop dropped a real recorder")
+	}
+}
+
+// TestTraceConcurrency proves concurrent span emission is race-clean
+// and yields one well-formed JSON object per line.
+func TestTraceConcurrency(t *testing.T) {
+	var buf bytes.Buffer
+	tel := New(NewRegistry(), &buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tel.StartSpan(0, "op", KV("j", j)).End()
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	n := 0
+	for sc.Scan() {
+		n++
+		var ev spanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d corrupt: %v: %s", n, err, sc.Text())
+		}
+	}
+	if n != 800 {
+		t.Errorf("got %d trace lines, want 800", n)
+	}
+}
