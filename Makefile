@@ -18,11 +18,14 @@ race:
 # detector (the campaign engine's worker pool must stay race-clean).
 check: build vet race
 
-# bench smoke-runs every benchmark once and leaves the telemetry
-# pipeline's throughput figures (missions/s, ns/sim-step) in
-# BENCH_telemetry.json; it also re-verifies the telemetry package under
+# bench smoke-runs every benchmark once and leaves two records behind:
+# BENCH_telemetry.json holds the telemetry pipeline's throughput
+# figures (missions/s, ns/sim-step — machine-dependent, gitignored),
+# and BENCH_baseline.json holds the campaign's deterministic work
+# counters (missions, simulations, steps — committed, so a diff flags a
+# behaviour change). It also re-verifies the telemetry package under
 # the race detector, since its registry and trace writer are the only
 # code every worker goroutine shares.
 bench:
-	BENCH_OUT=$(CURDIR)/BENCH_telemetry.json $(GO) test -bench=. -benchtime=1x -run=^$$ .
+	BENCH_OUT=$(CURDIR)/BENCH_telemetry.json BENCH_BASELINE=$(CURDIR)/BENCH_baseline.json $(GO) test -bench=. -benchtime=1x -run=^$$ .
 	$(GO) test -race ./internal/telemetry/...

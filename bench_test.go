@@ -10,12 +10,14 @@ package swarmfuzz_bench
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"time"
 
 	"testing"
 
 	"swarmfuzz/internal/experiments"
+	"swarmfuzz/internal/flightlog"
 	"swarmfuzz/internal/flock"
 	"swarmfuzz/internal/fuzz"
 	"swarmfuzz/internal/gps"
@@ -254,6 +256,94 @@ func BenchmarkRecorderOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.Run(mission, sim.RunOptions{Controller: ctrl, Telemetry: tel}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCampaignBaseline runs a reduced deterministic campaign and,
+// when the BENCH_BASELINE environment variable names a file, writes the
+// campaign's work counters (missions, simulations, steps, cracked
+// seeds) there as JSON. Unlike BENCH_OUT, the baseline holds no wall
+// times: every figure is a deterministic function of the fixed seeds,
+// so the committed BENCH_baseline.json is byte-stable across machines
+// and doubles as a regression check — a diff means the pipeline's
+// behaviour changed, not just its speed.
+func BenchmarkCampaignBaseline(b *testing.B) {
+	var last telemetry.Snapshot
+	var missions, found int
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(2)
+		reg := telemetry.NewRegistry()
+		cfg.Telemetry = telemetry.New(reg, nil)
+		cells, err := experiments.Grid(context.Background(), cfg, fuzz.SwarmFuzz{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		missions, found = 0, 0
+		for _, c := range cells {
+			for _, o := range c.Outcomes {
+				missions++
+				if o.Found {
+					found++
+				}
+			}
+		}
+		last = reg.Snapshot()
+	}
+	b.ReportMetric(float64(missions), "missions")
+	b.ReportMetric(float64(found), "cracked")
+
+	if out := os.Getenv("BENCH_BASELINE"); out != "" {
+		data, err := json.MarshalIndent(map[string]any{
+			"missions":         missions,
+			"missions_cracked": found,
+			"sim_runs":         last.Counters[telemetry.MSimRuns],
+			"sim_steps":        last.Counters[telemetry.MSimSteps],
+			"seeds_scheduled":  last.Counters[telemetry.MSeedsScheduled],
+			"seeds_cracked":    last.Counters[telemetry.MSeedsCracked],
+			"svg_builds":       last.Counters[telemetry.MSVGBuilds],
+			"search_iters":     last.Counters[telemetry.MSearchIters],
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlightRecorderOverhead pins the cost of the flight recorder
+// on the simulation hot path. "disabled" is the default nil recorder:
+// the runner pays exactly one nil-interface check per sampled step and
+// nothing else. "enabled" streams the full JSONL flight log (with term
+// decomposition) into io.Discard, bounding the worst-case recording
+// cost per mission.
+func BenchmarkFlightRecorderOverhead(b *testing.B) {
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(5, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(mission, sim.RunOptions{Controller: ctrl}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			log := flightlog.New(io.Discard, ctrl)
+			if _, err := sim.Run(mission, sim.RunOptions{Controller: ctrl, Flight: log.Recorder("bench")}); err != nil {
+				b.Fatal(err)
+			}
+			if err := log.Close(); err != nil {
 				b.Fatal(err)
 			}
 		}

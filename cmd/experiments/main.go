@@ -20,8 +20,10 @@
 // → pipeline stages), -metrics a JSON snapshot of the campaign
 // counters, -pprof serves net/http/pprof plus live /metrics, and
 // -progress logs a periodic one-line summary (missions/s, cracked,
-// retries, ETA) to stderr. Tables and figures go to stdout; logs go to
-// stderr.
+// retries, ETA) to stderr. -flightlog DIR archives a step-level flight
+// log for every cracked or degraded mission (only those, to bound
+// disk), and -postmortem renders a self-contained HTML post-mortem
+// next to each. Tables and figures go to stdout; logs go to stderr.
 package main
 
 import (
@@ -80,6 +82,8 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 		checkpoint = fs.String("checkpoint", "", "directory to persist finished grid cells into and resume from")
 		retries    = fs.Int("retries", 2, "extra attempts for transiently-failed missions (deadline misses)")
 		progress   = fs.Duration("progress", 30*time.Second, "interval between progress summaries (0 = none)")
+		flightDir  = fs.String("flightlog", "", "directory to archive flight logs of cracked/degraded missions into")
+		postmortem = fs.Bool("postmortem", false, "render an HTML post-mortem next to each archived flight log")
 	)
 	tf := telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +109,8 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 	cfg.MissionTimeout = *timeout
 	cfg.Checkpoint = *checkpoint
 	cfg.Retry.MaxAttempts = 1 + *retries
+	cfg.FlightDir = *flightDir
+	cfg.Postmortem = *postmortem
 	cfg.Telemetry = tel.Rec
 	cfg.Log = log
 

@@ -13,7 +13,10 @@
 // writes a JSONL span trace of the pipeline stages, -metrics a JSON
 // snapshot of the run's counters and histograms, -pprof serves
 // net/http/pprof plus live /metrics, and -v/-quiet tune the stderr
-// log level. Results go to stdout; logs go to stderr.
+// log level. -flightlog DIR records the mission's step-level flight
+// log (clean run, SVG edges, seed schedule, search trail, and a
+// witness run of each finding); -postmortem renders it as a
+// self-contained HTML file. Results go to stdout; logs go to stderr.
 package main
 
 import (
@@ -26,6 +29,8 @@ import (
 	"strings"
 	"syscall"
 
+	"swarmfuzz/internal/flightlog"
+	flreport "swarmfuzz/internal/flightlog/report"
 	"swarmfuzz/internal/flock"
 	"swarmfuzz/internal/fuzz"
 	"swarmfuzz/internal/robust"
@@ -72,6 +77,8 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 		name    = fs.String("fuzzer", "swarmfuzz", "fuzzer: swarmfuzz|r_fuzz|g_fuzz|s_fuzz")
 		maxIter = fs.Int("iters", 20, "max search iterations per seed")
 		timeout = fs.Duration("timeout", 0, "fuzzing deadline (0 = none)")
+		flight  = fs.String("flightlog", "", "directory to write the mission's flight log into")
+		postmor = fs.Bool("postmortem", false, "render an HTML post-mortem next to the flight log (needs -flightlog)")
 	)
 	tf := telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +109,35 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 	opts := fuzz.DefaultOptions()
 	opts.MaxIterPerSeed = *maxIter
 	opts.Telemetry = tel.Rec
+	if *flight != "" {
+		arch, aerr := flightlog.NewArchive(*flight, ctrl)
+		if aerr != nil {
+			return aerr
+		}
+		flog, flightPath, aerr := arch.Create(fmt.Sprintf("n%d_d%g_seed%d", *n, *dist, *seed))
+		if aerr != nil {
+			return aerr
+		}
+		opts.Flight = flog
+		defer func() {
+			if cerr := flog.Close(); cerr != nil {
+				if err == nil {
+					err = cerr
+				}
+				return
+			}
+			log.Infof("flight log written to %s", flightPath)
+			if !*postmor {
+				return
+			}
+			html := strings.TrimSuffix(flightPath, ".flight.jsonl") + ".postmortem.html"
+			if perr := flreport.GenerateFile(flightPath, html); perr != nil {
+				log.Warnf("post-mortem: %v", perr)
+				return
+			}
+			log.Infof("post-mortem written to %s", html)
+		}()
+	}
 
 	span := tel.Rec.StartSpan(0, "mission",
 		telemetry.KV("fuzzer", fuzzer.Name()),

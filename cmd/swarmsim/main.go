@@ -9,6 +9,12 @@
 //	swarmsim -n 5 -seed 42
 //	swarmsim -n 5 -seed 42 -target 2 -start 50 -dur 12 -dir right -dist 10
 //	swarmsim -n 5 -seed 42 -traj traj.csv
+//	swarmsim -n 5 -seed 42 -target 2 -start 50 -dur 12 -flightlog out -postmortem
+//
+// -flightlog DIR records the run's step-level flight log (a JSONL
+// "black box" with per-drone true vs GPS positions and the flocking
+// term decomposition); -postmortem renders it as a self-contained
+// HTML file. Results go to stdout; progress goes to stderr.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"os"
 	"strings"
 
+	"swarmfuzz/internal/flightlog"
+	flreport "swarmfuzz/internal/flightlog/report"
 	"swarmfuzz/internal/flock"
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/report"
@@ -43,6 +51,8 @@ func run(args []string, log *telemetry.Logger) error {
 		dirStr  = fs.String("dir", "right", "spoofing direction: right|left")
 		dist    = fs.Float64("dist", 10, "spoofing distance d (m)")
 		trajCSV = fs.String("traj", "", "write the trajectory to this CSV file")
+		flight  = fs.String("flightlog", "", "directory to write the run's flight log into")
+		postmor = fs.Bool("postmortem", false, "render an HTML post-mortem next to the flight log (needs -flightlog)")
 		quiet   = fs.Bool("quiet", false, "log only errors")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,12 +81,43 @@ func run(args []string, log *telemetry.Logger) error {
 			Target: *target, Start: *start, Duration: *dur,
 			Direction: dir, Distance: *dist,
 		}
-		fmt.Printf("attack: %s\n", opts.Spoof)
+		log.Infof("attack: %s", opts.Spoof)
+	}
+
+	var (
+		flog       *flightlog.MissionLog
+		flightPath string
+	)
+	if *flight != "" {
+		arch, err := flightlog.NewArchive(*flight, ctrl)
+		if err != nil {
+			return err
+		}
+		flog, flightPath, err = arch.Create(fmt.Sprintf("n%d_seed%d", *n, *seed))
+		if err != nil {
+			return err
+		}
+		opts.Flight = flog.Recorder("mission")
 	}
 
 	res, err := sim.Run(mission, opts)
+	if flog != nil {
+		if cerr := flog.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if flog != nil {
+		log.Infof("flight log written to %s", flightPath)
+		if *postmor {
+			html := strings.TrimSuffix(flightPath, ".flight.jsonl") + ".postmortem.html"
+			if err := flreport.GenerateFile(flightPath, html); err != nil {
+				return err
+			}
+			log.Infof("post-mortem written to %s", html)
+		}
 	}
 
 	ob := mission.Obstacle()

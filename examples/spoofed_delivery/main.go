@@ -5,12 +5,17 @@
 //
 // The example finds a vulnerable mission with SwarmFuzz, then replays
 // the clean and attacked runs side by side and narrates the collision.
+// Along the way it records the full forensic flight log and renders it
+// as spoofed_delivery.postmortem.html — open it in a browser for an
+// animated replay of the attack.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"swarmfuzz/internal/flightlog"
+	"swarmfuzz/internal/flightlog/report"
 	"swarmfuzz/internal/flock"
 	"swarmfuzz/internal/fuzz"
 	"swarmfuzz/internal/sim"
@@ -22,17 +27,34 @@ func main() {
 		log.Fatal(err)
 	}
 
+	arch, err := flightlog.NewArchive(".", controller)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Scan mission seeds until SwarmFuzz finds an SPV.
 	for seed := uint64(1); seed < 200; seed++ {
 		mission, err := sim.NewMission(sim.DefaultMissionConfig(5, seed))
 		if err != nil {
 			log.Fatal(err)
 		}
+		// The flight log is the mission's black box: SwarmFuzz records
+		// the clean run, the vulnerability graphs, the search trail,
+		// and a witness run of any finding into it.
+		flog, flightPath, err := arch.Create("spoofed_delivery")
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := fuzz.DefaultOptions()
+		opts.Flight = flog
 		rep, err := fuzz.SwarmFuzz{}.Fuzz(fuzz.Input{
 			Mission:       mission,
 			Controller:    controller,
 			SpoofDistance: 10,
-		}, fuzz.DefaultOptions())
+		}, opts)
+		if cerr := flog.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
 		if err != nil {
 			continue // e.g. unsafe mission: skip like the campaign does
 		}
@@ -66,6 +88,12 @@ func main() {
 		fmt.Printf("\nnote: the spoofed drone (%d) is NOT the one that crashes (%d) —\n",
 			finding.Plan.Target, finding.Victim)
 		fmt.Println("the attack propagates through the swarm control algorithm.")
+
+		if err := report.GenerateFile(flightPath, "spoofed_delivery.postmortem.html"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\npost-mortem written to spoofed_delivery.postmortem.html")
+		fmt.Printf("raw flight log: %s\n", flightPath)
 		return
 	}
 	log.Fatal("no vulnerable mission found in 200 seeds — retune or widen the scan")

@@ -56,6 +56,16 @@ type Config struct {
 	// atomically); a resumed Grid run loads finished cells from it
 	// instead of re-fuzzing them.
 	Checkpoint string
+	// FlightDir, when non-empty, is a directory mission flight logs are
+	// archived into (one <name>.flight.jsonl per recorded mission). To
+	// bound disk across large campaigns, only cracked or degraded
+	// missions are recorded — each as a post-hoc forensic re-run: the
+	// clean mission plus, for cracked missions, a witness run of the
+	// discovered spoof plan.
+	FlightDir string
+	// Postmortem renders a self-contained HTML post-mortem next to each
+	// recorded flight log. Ignored unless FlightDir is set.
+	Postmortem bool
 	// Telemetry receives campaign counters and trace spans, and is
 	// threaded down through fuzzing into the simulator; nil disables
 	// recording.
@@ -93,6 +103,13 @@ type MissionOutcome struct {
 	// Start and Duration are the discovered spoofing parameters
 	// (meaningful when Found).
 	Start, Duration float64
+	// Target, Victim, Direction and Objective complete the finding's
+	// test-run tuple ⟨T−V, t_s, Δt, θ⟩ (meaningful when Found); they
+	// let forensics reconstruct and re-run the exact spoof plan.
+	Target    int     `json:",omitempty"`
+	Victim    int     `json:",omitempty"`
+	Direction int     `json:",omitempty"`
+	Objective float64 `json:",omitempty"`
 	// Err is the failure that degraded this mission (panic, deadline,
 	// divergence, …), empty for a healthy outcome. Errored missions
 	// stay in the cell — counted as not-found — so one bad mission
@@ -263,7 +280,14 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 		go func(i int, j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			outcomes[i] = fuzzMission(ctx, cfg, fuzzer, ctrl, spoofDistance, j.seed, j.mission, j.cleanVDO, span.ID())
+			o := fuzzMission(ctx, cfg, fuzzer, ctrl, spoofDistance, j.seed, j.mission, j.cleanVDO, span.ID())
+			// Forensics are recorded post-verdict, and only for cracked
+			// or degraded missions, so healthy campaign cells cost no
+			// disk and no extra simulation time.
+			if cfg.FlightDir != "" && (o.Found || o.Err != "") {
+				recordForensics(cfg, ctrl, spoofDistance, j.mission, o)
+			}
+			outcomes[i] = o
 		}(i, j)
 	}
 	wg.Wait()
@@ -329,6 +353,10 @@ func fuzzMission(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, ctrl sim.C
 		o.Iterations = rep.IterationsToFind
 		o.Start = rep.Findings[0].Plan.Start
 		o.Duration = rep.Findings[0].Plan.Duration
+		o.Target = rep.Findings[0].Plan.Target
+		o.Victim = rep.Findings[0].Victim
+		o.Direction = int(rep.Findings[0].Plan.Direction)
+		o.Objective = rep.Findings[0].Objective
 	}
 	return o
 }

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swarmfuzz/internal/flightlog"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/gps"
+)
+
+// crackingFuzzer always reports a reconstructible finding, so the
+// campaign's forensics can replay a valid witness run.
+type crackingFuzzer struct{}
+
+func (crackingFuzzer) Name() string { return "CrackFuzz" }
+
+func (crackingFuzzer) Fuzz(in fuzz.Input, _ fuzz.Options) (*fuzz.Report, error) {
+	return &fuzz.Report{
+		Fuzzer: "CrackFuzz", VDO: 1, Found: true, IterationsToFind: 1,
+		Findings: []fuzz.Finding{{
+			Plan: gps.SpoofPlan{
+				Target: 1, Start: 3, Duration: 4,
+				Direction: gps.Right, Distance: in.SpoofDistance,
+			},
+			Victim:    0,
+			Objective: 0.5,
+		}},
+	}, nil
+}
+
+func TestCampaignRecordsForensicsForCrackedMissions(t *testing.T) {
+	cfg := fastConfig(2)
+	cfg.FlightDir = filepath.Join(t.TempDir(), "flights")
+	cfg.Postmortem = true
+	cell, err := RunCampaign(context.Background(), cfg, crackingFuzzer{}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Outcomes) == 0 {
+		t.Fatal("campaign produced no outcomes")
+	}
+	for _, o := range cell.Outcomes {
+		if !o.Found {
+			t.Fatalf("cracking fuzzer did not crack seed %d", o.Seed)
+		}
+		if o.Target != 1 || o.Victim != 0 || o.Direction != int(gps.Right) {
+			t.Fatalf("outcome lost the finding tuple: %+v", o)
+		}
+	}
+
+	logs, err := filepath.Glob(filepath.Join(cfg.FlightDir, "*.flight.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != len(cell.Outcomes) {
+		t.Fatalf("%d flight logs for %d cracked missions", len(logs), len(cell.Outcomes))
+	}
+	for _, path := range logs {
+		f, err := flightlog.ReadFlightFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if f.Run("clean") == nil {
+			t.Errorf("%s: no clean run", path)
+		}
+		w := f.Run("witness")
+		if w == nil || w.Spoof == nil || w.Spoof.Target != 1 {
+			t.Errorf("%s: witness run missing or wrong: %+v", path, w)
+		}
+		if len(f.Findings) != 1 {
+			t.Errorf("%s: %d findings recorded, want 1", path, len(f.Findings))
+		}
+		html := strings.TrimSuffix(path, ".flight.jsonl") + ".postmortem.html"
+		if _, err := os.Stat(html); err != nil {
+			t.Errorf("post-mortem not written: %v", err)
+		}
+	}
+}
+
+func TestCampaignSkipsForensicsForResilientMissions(t *testing.T) {
+	cfg := fastConfig(2)
+	cfg.FlightDir = filepath.Join(t.TempDir(), "flights")
+	// RFuzz with a one-iteration budget finds nothing on these safe
+	// missions, so no flight log may be written.
+	cfg.Fuzz.MaxIterPerSeed = 1
+	cell, err := RunCampaign(context.Background(), cfg, fuzz.RFuzz{}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range cell.Outcomes {
+		if o.Found || o.Err != "" {
+			t.Skipf("mission unexpectedly cracked or degraded: %+v", o)
+		}
+	}
+	logs, err := filepath.Glob(filepath.Join(cfg.FlightDir, "*.flight.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 0 {
+		t.Errorf("resilient missions were recorded: %v", logs)
+	}
+}
+
+func TestForensicsSkipsUnreconstructiblePlans(t *testing.T) {
+	cfg := fastConfig(1)
+	cfg.FlightDir = filepath.Join(t.TempDir(), "flights")
+	// The plain stub's finding has Direction 0, which cannot validate:
+	// forensics must keep the clean run and note the skipped witness.
+	cell, err := RunCampaign(context.Background(), cfg, newStubFuzzer(), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Outcomes) != 1 || !cell.Outcomes[0].Found {
+		t.Fatalf("unexpected outcomes: %+v", cell.Outcomes)
+	}
+	logs, err := filepath.Glob(filepath.Join(cfg.FlightDir, "*.flight.jsonl"))
+	if err != nil || len(logs) != 1 {
+		t.Fatalf("logs = %v, err = %v", logs, err)
+	}
+	f, err := flightlog.ReadFlightFile(logs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Run("clean") == nil {
+		t.Error("clean run missing")
+	}
+	if f.Run("witness") != nil {
+		t.Error("witness run recorded despite an invalid plan")
+	}
+	var noted bool
+	for _, n := range f.Notes {
+		if n.Key == "witness_skipped" {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Error("no witness_skipped note")
+	}
+}

@@ -1,0 +1,200 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// fnum formats a float compactly and deterministically for SVG
+// attributes and labels.
+func fnum(x float64) string {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}
+
+// esc escapes text for embedding in XML character data or attribute
+// values.
+var esc = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+).Replace
+
+// series is one polyline of a time-series chart.
+type series struct {
+	name  string
+	color string
+	dash  string // SVG stroke-dasharray, empty for solid
+	xs    []float64
+	ys    []float64
+}
+
+// window is a highlighted x-interval (the attack window).
+type window struct {
+	x0, x1 float64
+	label  string
+}
+
+// chart renders a self-contained SVG line chart: axes, min/max labels,
+// a legend, the series, an optional zero line, and highlighted
+// x-windows (drawn as rects with class "attack-window").
+type chart struct {
+	id       string
+	title    string
+	xlabel   string
+	ylabel   string
+	width    float64
+	height   float64
+	zeroLine bool
+	series   []series
+	windows  []window
+}
+
+const (
+	chartMarginL = 56.0
+	chartMarginR = 16.0
+	chartMarginT = 28.0
+	chartMarginB = 34.0
+)
+
+func (c *chart) render(b *strings.Builder) {
+	if c.width == 0 {
+		c.width = 640
+	}
+	if c.height == 0 {
+		c.height = 220
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymin = math.Min(ymin, s.ys[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	empty := math.IsInf(xmin, 1)
+	if empty {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if c.zeroLine {
+		ymin = math.Min(ymin, 0)
+		ymax = math.Max(ymax, 0)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom so extreme points are not clipped.
+	pad := (ymax - ymin) * 0.05
+	ymin, ymax = ymin-pad, ymax+pad
+
+	plotW := c.width - chartMarginL - chartMarginR
+	plotH := c.height - chartMarginT - chartMarginB
+	px := func(x float64) float64 { return chartMarginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return chartMarginT + (ymax-y)/(ymax-ymin)*plotH }
+
+	fmt.Fprintf(b, `<svg id="%s" class="chart" width="%s" height="%s" viewBox="0 0 %s %s" xmlns="http://www.w3.org/2000/svg">`,
+		esc(c.id), fnum(c.width), fnum(c.height), fnum(c.width), fnum(c.height))
+	b.WriteString("\n")
+	fmt.Fprintf(b, `<text class="title" x="%s" y="18">%s</text>`, fnum(c.width/2), esc(c.title))
+	b.WriteString("\n")
+
+	// Highlighted windows first, behind everything else.
+	for _, w := range c.windows {
+		x0 := math.Max(w.x0, xmin)
+		x1 := math.Min(w.x1, xmax)
+		if x1 <= x0 {
+			continue
+		}
+		fmt.Fprintf(b, `<rect class="attack-window" x="%s" y="%s" width="%s" height="%s"><title>%s</title></rect>`,
+			fnum(px(x0)), fnum(chartMarginT), fnum(px(x1)-px(x0)), fnum(plotH), esc(w.label))
+		b.WriteString("\n")
+	}
+
+	// Axes.
+	fmt.Fprintf(b, `<line class="axis" x1="%s" y1="%s" x2="%s" y2="%s"/>`,
+		fnum(chartMarginL), fnum(chartMarginT), fnum(chartMarginL), fnum(chartMarginT+plotH))
+	fmt.Fprintf(b, `<line class="axis" x1="%s" y1="%s" x2="%s" y2="%s"/>`,
+		fnum(chartMarginL), fnum(chartMarginT+plotH), fnum(chartMarginL+plotW), fnum(chartMarginT+plotH))
+	b.WriteString("\n")
+	if c.zeroLine && ymin < 0 {
+		fmt.Fprintf(b, `<line class="zero" x1="%s" y1="%s" x2="%s" y2="%s"/>`,
+			fnum(chartMarginL), fnum(py(0)), fnum(chartMarginL+plotW), fnum(py(0)))
+		b.WriteString("\n")
+	}
+
+	// Min/max tick labels.
+	fmt.Fprintf(b, `<text class="tick" x="%s" y="%s">%s</text>`,
+		fnum(chartMarginL), fnum(c.height-12), fnum(xmin))
+	fmt.Fprintf(b, `<text class="tick" x="%s" y="%s">%s</text>`,
+		fnum(chartMarginL+plotW), fnum(c.height-12), fnum(xmax))
+	fmt.Fprintf(b, `<text class="tick" x="%s" y="%s">%s</text>`,
+		fnum(chartMarginL-6), fnum(chartMarginT+plotH), fnum(ymin+pad))
+	fmt.Fprintf(b, `<text class="tick" x="%s" y="%s">%s</text>`,
+		fnum(chartMarginL-6), fnum(chartMarginT+10), fnum(ymax-pad))
+	fmt.Fprintf(b, `<text class="label" x="%s" y="%s">%s</text>`,
+		fnum(chartMarginL+plotW/2), fnum(c.height-12), esc(c.xlabel))
+	b.WriteString("\n")
+
+	// Series.
+	for _, s := range c.series {
+		if len(s.xs) == 0 {
+			continue
+		}
+		var pts strings.Builder
+		for i := range s.xs {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			pts.WriteString(fnum(px(s.xs[i])))
+			pts.WriteByte(',')
+			pts.WriteString(fnum(py(s.ys[i])))
+		}
+		dash := ""
+		if s.dash != "" {
+			dash = ` stroke-dasharray="` + s.dash + `"`
+		}
+		fmt.Fprintf(b, `<polyline class="series" fill="none" stroke="%s"%s points="%s"><title>%s</title></polyline>`,
+			s.color, dash, pts.String(), esc(s.name))
+		b.WriteString("\n")
+	}
+
+	// Legend, top-right inside the plot.
+	lx := chartMarginL + plotW - 150
+	ly := chartMarginT + 6
+	for i, s := range c.series {
+		y := ly + float64(i)*14
+		dash := ""
+		if s.dash != "" {
+			dash = ` stroke-dasharray="` + s.dash + `"`
+		}
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s"%s/>`,
+			fnum(lx), fnum(y), fnum(lx+18), fnum(y), s.color, dash)
+		fmt.Fprintf(b, `<text class="legend" x="%s" y="%s">%s</text>`,
+			fnum(lx+24), fnum(y+4), esc(s.name))
+		b.WriteString("\n")
+	}
+	if empty {
+		fmt.Fprintf(b, `<text class="label" x="%s" y="%s">no data recorded</text>`,
+			fnum(c.width/2), fnum(chartMarginT+plotH/2))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+}
+
+// palette cycles drone colors.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+func color(i int) string { return palette[i%len(palette)] }

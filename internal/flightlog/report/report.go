@@ -1,0 +1,448 @@
+// Package report renders post-mortems from flight logs: one
+// self-contained XHTML file per mission with an animated SVG top-down
+// replay, term-contribution and separation/clearance time-series
+// charts, the attack timeline annotated on all of them, and the
+// fuzzing forensics (seed schedule, SVG edges, search trail).
+//
+// The output is well-formed XML on purpose — every tag is closed and
+// all dynamic text is escaped — so tests (and tooling) can parse it
+// with encoding/xml without an HTML parser dependency. The animation
+// uses SMIL, which browsers play without scripts.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"swarmfuzz/internal/flightlog"
+	"swarmfuzz/internal/gps"
+)
+
+// replayDur is the wall duration of one replay loop.
+const replayDur = "12s"
+
+// Generate renders the flight's post-mortem HTML to w.
+func Generate(f *flightlog.Flight, w io.Writer) error {
+	if f == nil || f.Mission == nil {
+		return errors.New("report: flight log has no mission record")
+	}
+	if len(f.Runs) == 0 {
+		return errors.New("report: flight log has no runs")
+	}
+	run := primaryRun(f)
+	victim := victimOf(f, run)
+
+	var b strings.Builder
+	writeHead(&b, f)
+	fmt.Fprintf(&b, "<h1>Mission post-mortem — seed %d</h1>\n", f.Mission.Seed)
+	writeSummary(&b, f)
+
+	b.WriteString(`<div class="section"><h2>Top-down replay</h2>` + "\n")
+	fmt.Fprintf(&b, "<p>Run <code>%s</code>: solid dots are true positions; the dashed dot is the spoofed target's GPS-perceived position. One loop is %s of wall time.</p>\n",
+		esc(run.Label), replayDur)
+	writeReplay(&b, f, run)
+	b.WriteString("</div>\n")
+
+	b.WriteString(`<div class="section"><h2>Attack timeline</h2>` + "\n")
+	writeAttack(&b, f)
+	b.WriteString("</div>\n")
+
+	b.WriteString(`<div class="section"><h2>Separation and clearance</h2>` + "\n")
+	sep := separationChart(f)
+	sep.render(&b)
+	b.WriteString("</div>\n")
+
+	b.WriteString(`<div class="section"><h2>Flocking term contributions</h2>` + "\n")
+	fmt.Fprintf(&b, "<p>Sub-velocity magnitudes of drone %d in run <code>%s</code>.</p>\n", victim, esc(run.Label))
+	tc := termsChart(f, run, victim)
+	tc.render(&b)
+	b.WriteString("</div>\n")
+
+	if len(f.Search) > 0 {
+		b.WriteString(`<div class="section"><h2>Search trail</h2>` + "\n")
+		sc := searchChart(f)
+		sc.render(&b)
+		b.WriteString("</div>\n")
+	}
+	writeForensics(&b, f)
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// GenerateFile reads the flight log at flightPath and writes its
+// post-mortem to htmlPath.
+func GenerateFile(flightPath, htmlPath string) error {
+	f, err := flightlog.ReadFlightFile(flightPath)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(htmlPath)
+	if err != nil {
+		return err
+	}
+	if err := Generate(f, out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// primaryRun picks the run the replay and term charts show: the first
+// "witness" run, else the last spoofed run, else the first run.
+func primaryRun(f *flightlog.Flight) *flightlog.FlightRun {
+	if r := f.Run("witness"); r != nil {
+		return r
+	}
+	var spoofed *flightlog.FlightRun
+	for _, r := range f.Runs {
+		if r.Spoof != nil {
+			spoofed = r
+		}
+	}
+	if spoofed != nil {
+		return spoofed
+	}
+	return f.Runs[0]
+}
+
+// victimOf resolves the drone the charts focus on: the first finding's
+// victim, else the primary run's spoof target, else drone 0.
+func victimOf(f *flightlog.Flight, run *flightlog.FlightRun) int {
+	if len(f.Findings) > 0 {
+		return f.Findings[0].Victim
+	}
+	if run.Spoof != nil {
+		return run.Spoof.Target
+	}
+	return 0
+}
+
+func writeHead(b *strings.Builder, f *flightlog.Flight) {
+	b.WriteString("<!DOCTYPE html>\n")
+	b.WriteString(`<html xmlns="http://www.w3.org/1999/xhtml" lang="en">` + "\n<head>\n")
+	b.WriteString(`<meta charset="utf-8"/>` + "\n")
+	fmt.Fprintf(b, "<title>Mission post-mortem — seed %d</title>\n", f.Mission.Seed)
+	b.WriteString(`<style>
+body { font-family: system-ui, sans-serif; margin: 24px auto; max-width: 880px; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-bottom: 4px; }
+.section { margin-bottom: 28px; }
+table { border-collapse: collapse; font-size: 0.85em; }
+td, th { border: 1px solid #ccc; padding: 2px 8px; text-align: right; }
+th { background: #f2f2f2; }
+svg.chart .title { text-anchor: middle; font-size: 13px; }
+svg.chart .tick, svg.chart .legend, svg.chart .label { font-size: 10px; fill: #555; }
+svg.chart .tick { text-anchor: end; }
+svg.chart .axis { stroke: #888; stroke-width: 1; }
+svg.chart .zero { stroke: #d62728; stroke-width: 1; stroke-dasharray: 2 3; }
+svg.chart .series { stroke-width: 1.5; }
+rect.attack-window { fill: #d62728; fill-opacity: 0.12; }
+svg.replay { background: #fafafa; border: 1px solid #ddd; }
+.meta code { background: #f2f2f2; padding: 0 4px; }
+</style>
+`)
+	b.WriteString("</head>\n<body>\n")
+}
+
+func writeSummary(b *strings.Builder, f *flightlog.Flight) {
+	m := f.Mission
+	fmt.Fprintf(b, `<p class="meta">%d drones · dt %ss · sampled every %d steps · max %ss · axis (%s, %s, %s)</p>`+"\n",
+		m.NumDrones, fnum(m.Dt), m.SampleEvery, fnum(m.MaxTime),
+		fnum(m.Axis[0]), fnum(m.Axis[1]), fnum(m.Axis[2]))
+	b.WriteString(`<p class="meta">runs: `)
+	for i, r := range f.Runs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		state := "incomplete"
+		if r.End != nil {
+			switch {
+			case r.End.Err != "":
+				state = "aborted"
+			case r.End.Completed:
+				state = fmt.Sprintf("completed in %ss", fnum(r.End.Duration))
+			default:
+				state = fmt.Sprintf("ended at %ss, %d collision(s)", fnum(r.End.Duration), r.End.Collisions)
+			}
+		}
+		fmt.Fprintf(b, "<code>%s</code> (%s)", esc(r.Label), esc(state))
+	}
+	b.WriteString("</p>\n")
+	for _, n := range f.Notes {
+		fmt.Fprintf(b, `<p class="meta">note <code>%s</code>: %s</p>`+"\n", esc(n.Key), esc(n.Value))
+	}
+}
+
+// replayBounds computes the replay viewport over everything drawn.
+func replayBounds(f *flightlog.Flight, run *flightlog.FlightRun) (xmin, ymin, xmax, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	grow := func(x, y float64) {
+		xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+		ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+	}
+	for _, o := range f.Mission.Obstacles {
+		grow(o.Center[0]-o.Radius, o.Center[1]-o.Radius)
+		grow(o.Center[0]+o.Radius, o.Center[1]+o.Radius)
+	}
+	grow(f.Mission.Destination[0], f.Mission.Destination[1])
+	for _, s := range run.Steps {
+		for _, d := range s.Drones {
+			grow(d.Pos[0], d.Pos[1])
+			grow(d.GPS[0], d.GPS[1])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, ymin, xmax, ymax = 0, 0, 1, 1
+	}
+	const margin = 12.0
+	return xmin - margin, ymin - margin, xmax + margin, ymax + margin
+}
+
+func writeReplay(b *strings.Builder, f *flightlog.Flight, run *flightlog.FlightRun) {
+	xmin, ymin, xmax, ymax := replayBounds(f, run)
+	w, h := xmax-xmin, ymax-ymin
+	// Missions migrate along +Y; SVG y grows downward, so flip Y.
+	fy := func(y float64) float64 { return ymin + ymax - y }
+
+	pxW := 640.0
+	pxH := math.Min(1100, math.Max(240, pxW*h/w))
+	fmt.Fprintf(b, `<svg id="replay" class="replay" width="%s" height="%s" viewBox="%s %s %s %s" xmlns="http://www.w3.org/2000/svg">`+"\n",
+		fnum(pxW), fnum(pxH), fnum(xmin), fnum(ymin), fnum(w), fnum(h))
+
+	for _, o := range f.Mission.Obstacles {
+		fmt.Fprintf(b, `<circle class="obstacle" cx="%s" cy="%s" r="%s" fill="#999" fill-opacity="0.6" stroke="#555" stroke-width="0.3"><title>obstacle r=%sm</title></circle>`+"\n",
+			fnum(o.Center[0]), fnum(fy(o.Center[1])), fnum(o.Radius), fnum(o.Radius))
+	}
+	fmt.Fprintf(b, `<circle class="destination" cx="%s" cy="%s" r="%s" fill="none" stroke="#2ca02c" stroke-width="0.4" stroke-dasharray="1.5 1.5"><title>destination</title></circle>`+"\n",
+		fnum(f.Mission.Destination[0]), fnum(fy(f.Mission.Destination[1])), fnum(f.Mission.DestRadius))
+
+	if len(run.Steps) == 0 {
+		b.WriteString(`<text x="50%" y="50%">no steps recorded</text>` + "\n</svg>\n")
+		return
+	}
+	n := f.Mission.NumDrones
+	spoofTarget := -1
+	if run.Spoof != nil {
+		spoofTarget = run.Spoof.Target
+	}
+
+	// Faded full paths, then SMIL-animated markers.
+	for i := 0; i < n; i++ {
+		var pts strings.Builder
+		for _, s := range run.Steps {
+			if i >= len(s.Drones) {
+				continue
+			}
+			if pts.Len() > 0 {
+				pts.WriteByte(' ')
+			}
+			pts.WriteString(fnum(s.Drones[i].Pos[0]))
+			pts.WriteByte(',')
+			pts.WriteString(fnum(fy(s.Drones[i].Pos[1])))
+		}
+		fmt.Fprintf(b, `<polyline class="path" fill="none" stroke="%s" stroke-opacity="0.25" stroke-width="0.4" points="%s"/>`+"\n",
+			color(i), pts.String())
+	}
+	for i := 0; i < n; i++ {
+		var cx, cy strings.Builder
+		for _, s := range run.Steps {
+			if i >= len(s.Drones) {
+				continue
+			}
+			if cx.Len() > 0 {
+				cx.WriteByte(';')
+				cy.WriteByte(';')
+			}
+			cx.WriteString(fnum(s.Drones[i].Pos[0]))
+			cy.WriteString(fnum(fy(s.Drones[i].Pos[1])))
+		}
+		stroke := "none"
+		if i == spoofTarget {
+			stroke = `#000`
+		}
+		fmt.Fprintf(b, `<circle class="drone" r="1.1" fill="%s" stroke="%s" stroke-width="0.3">`, color(i), stroke)
+		fmt.Fprintf(b, `<title>drone %d</title>`, i)
+		fmt.Fprintf(b, `<animate attributeName="cx" dur="%s" repeatCount="indefinite" values="%s"/>`, replayDur, cx.String())
+		fmt.Fprintf(b, `<animate attributeName="cy" dur="%s" repeatCount="indefinite" values="%s"/>`, replayDur, cy.String())
+		b.WriteString("</circle>\n")
+	}
+	if spoofTarget >= 0 && spoofTarget < n {
+		var cx, cy strings.Builder
+		for _, s := range run.Steps {
+			if spoofTarget >= len(s.Drones) {
+				continue
+			}
+			if cx.Len() > 0 {
+				cx.WriteByte(';')
+				cy.WriteByte(';')
+			}
+			cx.WriteString(fnum(s.Drones[spoofTarget].GPS[0]))
+			cy.WriteString(fnum(fy(s.Drones[spoofTarget].GPS[1])))
+		}
+		fmt.Fprintf(b, `<circle class="gps-ghost" r="1.1" fill="none" stroke="#d62728" stroke-width="0.35" stroke-dasharray="0.8 0.8">`)
+		fmt.Fprintf(b, `<title>drone %d GPS-perceived (spoofed) position</title>`, spoofTarget)
+		fmt.Fprintf(b, `<animate attributeName="cx" dur="%s" repeatCount="indefinite" values="%s"/>`, replayDur, cx.String())
+		fmt.Fprintf(b, `<animate attributeName="cy" dur="%s" repeatCount="indefinite" values="%s"/>`, replayDur, cy.String())
+		b.WriteString("</circle>\n")
+	}
+	for _, e := range run.Events {
+		fmt.Fprintf(b, `<g class="collision" stroke="#d62728" stroke-width="0.5"><line x1="%s" y1="%s" x2="%s" y2="%s"/><line x1="%s" y1="%s" x2="%s" y2="%s"/><title>drone %d hit %s %d at t=%ss</title></g>`+"\n",
+			fnum(e.Pos[0]-1.5), fnum(fy(e.Pos[1])-1.5), fnum(e.Pos[0]+1.5), fnum(fy(e.Pos[1])+1.5),
+			fnum(e.Pos[0]-1.5), fnum(fy(e.Pos[1])+1.5), fnum(e.Pos[0]+1.5), fnum(fy(e.Pos[1])-1.5),
+			e.Drone, esc(e.Kind), e.Other, fnum(e.T))
+	}
+	b.WriteString("</svg>\n")
+}
+
+func writeAttack(b *strings.Builder, f *flightlog.Flight) {
+	rows := 0
+	b.WriteString("<table>\n<tr><th>run</th><th>target</th><th>t_s (s)</th><th>Δt (s)</th><th>θ</th><th>d (m)</th></tr>\n")
+	for _, r := range f.Runs {
+		if r.Spoof == nil {
+			continue
+		}
+		rows++
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			esc(r.Label), r.Spoof.Target, fnum(r.Spoof.Start), fnum(r.Spoof.Duration),
+			esc(gps.Direction(r.Spoof.Direction).String()), fnum(r.Spoof.Distance))
+	}
+	b.WriteString("</table>\n")
+	if rows == 0 {
+		b.WriteString("<p>No spoofed runs recorded (clean mission).</p>\n")
+	}
+	for _, fd := range f.Findings {
+		fmt.Fprintf(b, `<p class="meta">finding: target %d → victim %d, t_s=%ss, Δt=%ss, θ=%s, clearance %sm</p>`+"\n",
+			fd.Spoof.Target, fd.Victim, fnum(fd.Spoof.Start), fnum(fd.Spoof.Duration),
+			esc(gps.Direction(fd.Spoof.Direction).String()), fnum(fd.Value))
+	}
+}
+
+// attackWindows collects the highlighted time intervals from every
+// spoofed run.
+func attackWindows(f *flightlog.Flight) []window {
+	var out []window
+	seen := map[string]bool{}
+	for _, r := range f.Runs {
+		if r.Spoof == nil {
+			continue
+		}
+		key := fnum(r.Spoof.Start) + "/" + fnum(r.Spoof.Duration)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, window{
+			x0:    r.Spoof.Start,
+			x1:    r.Spoof.Start + r.Spoof.Duration,
+			label: fmt.Sprintf("attack window: t_s=%ss Δt=%ss", fnum(r.Spoof.Start), fnum(r.Spoof.Duration)),
+		})
+	}
+	return out
+}
+
+func separationChart(f *flightlog.Flight) chart {
+	c := chart{
+		id:       "separation",
+		title:    "min inter-drone separation / min obstacle clearance",
+		xlabel:   "mission time (s)",
+		zeroLine: true,
+		windows:  attackWindows(f),
+	}
+	for ri, r := range f.Runs {
+		var ts, sep, clr []float64
+		for _, s := range r.Steps {
+			ts = append(ts, s.T)
+			sep = append(sep, s.MinSep)
+			clr = append(clr, s.MinClear)
+		}
+		c.series = append(c.series,
+			series{name: r.Label + " clearance", color: color(ri), xs: ts, ys: clr},
+			series{name: r.Label + " separation", color: color(ri), dash: "4 3", xs: ts, ys: sep},
+		)
+	}
+	return c
+}
+
+func termsChart(f *flightlog.Flight, run *flightlog.FlightRun, drone int) chart {
+	c := chart{
+		id:      "terms",
+		title:   fmt.Sprintf("drone %d term magnitudes (%s)", drone, run.Label),
+		xlabel:  "mission time (s)",
+		windows: attackWindows(f),
+	}
+	norm := func(v flightlog.Vec) float64 {
+		return math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+	}
+	names := []string{"migration", "repulsion", "attraction", "friction", "obstacle", "altitude"}
+	get := []func(t *flightlog.TermsRecord) flightlog.Vec{
+		func(t *flightlog.TermsRecord) flightlog.Vec { return t.Migration },
+		func(t *flightlog.TermsRecord) flightlog.Vec { return t.Repulsion },
+		func(t *flightlog.TermsRecord) flightlog.Vec { return t.Attraction },
+		func(t *flightlog.TermsRecord) flightlog.Vec { return t.Friction },
+		func(t *flightlog.TermsRecord) flightlog.Vec { return t.Obstacle },
+		func(t *flightlog.TermsRecord) flightlog.Vec { return t.Altitude },
+	}
+	for k := range names {
+		var xs, ys []float64
+		for _, s := range run.Steps {
+			if drone >= len(s.Drones) || s.Drones[drone].Terms == nil {
+				continue
+			}
+			xs = append(xs, s.T)
+			ys = append(ys, norm(get[k](s.Drones[drone].Terms)))
+		}
+		c.series = append(c.series, series{name: names[k], color: color(k), xs: xs, ys: ys})
+	}
+	return c
+}
+
+func searchChart(f *flightlog.Flight) chart {
+	c := chart{
+		id:       "search",
+		title:    "search objective per iterate (victim min clearance)",
+		xlabel:   "iterate",
+		zeroLine: true,
+	}
+	var xs, ys []float64
+	for i, s := range f.Search {
+		xs = append(xs, float64(i))
+		ys = append(ys, s.Value)
+	}
+	c.series = append(c.series, series{name: "objective", color: color(0), xs: xs, ys: ys})
+	return c
+}
+
+// writeForensics renders the fuzzing metadata: the scheduled seeds and
+// the SVG edge weights.
+func writeForensics(b *strings.Builder, f *flightlog.Flight) {
+	if len(f.Seeds) > 0 {
+		b.WriteString(`<div class="section"><h2>Scheduled seeds</h2>` + "\n<table>\n")
+		b.WriteString("<tr><th>#</th><th>target</th><th>victim</th><th>θ</th><th>influence</th><th>VDO (m)</th></tr>\n")
+		for i, s := range f.Seeds {
+			fmt.Fprintf(b, "<tr><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				i, s.Target, s.Victim, esc(gps.Direction(s.Direction).String()), fnum(s.Influence), fnum(s.VDO))
+		}
+		b.WriteString("</table>\n</div>\n")
+	}
+	const maxEdges = 60
+	for _, g := range f.SVGs {
+		fmt.Fprintf(b, `<div class="section"><h2>SVG edges (θ=%s)</h2>`+"\n",
+			esc(gps.Direction(g.Direction).String()))
+		fmt.Fprintf(b, "<p>%d nodes, %d edges (e<sub>ij</sub>: drone i is maliciously influenced by drone j).</p>\n",
+			g.Nodes, len(g.Edges))
+		b.WriteString("<table>\n<tr><th>i</th><th>j</th><th>weight</th></tr>\n")
+		for i, e := range g.Edges {
+			if i == maxEdges {
+				fmt.Fprintf(b, `<tr><td colspan="3">… %d more</td></tr>`+"\n", len(g.Edges)-maxEdges)
+				break
+			}
+			fmt.Fprintf(b, "<tr><td>%d</td><td>%d</td><td>%s</td></tr>\n", e.From, e.To, fnum(e.Weight))
+		}
+		b.WriteString("</table>\n</div>\n")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"swarmfuzz/internal/comms"
 	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/rng"
 	"swarmfuzz/internal/sim"
 	"swarmfuzz/internal/vec"
 )
@@ -284,6 +285,35 @@ func TestSpoofedNeighborShiftsCommand(t *testing.T) {
 	spoofed := c.Command(p, []comms.State{spoof1}, w)
 	if base.Sub(spoofed).Norm() < 1e-6 {
 		t.Error("spoofed broadcast did not change the command")
+	}
+}
+
+// TestTermsSumMatchesCommandRandomized is the property behind the
+// flight log's forensic term decomposition: for ANY perception and
+// neighbourhood, the recorded terms must reassemble into exactly the
+// command the controller issued — Terms(...).Sum().ClampNorm(VMax) ==
+// Command(...). Randomized inputs sweep positions around the obstacle
+// shell, the destination, and dense neighbourhoods.
+func TestTermsSumMatchesCommandRandomized(t *testing.T) {
+	c := MustNew(DefaultParams())
+	w := testWorld()
+	src := rng.New(7)
+	for trial := 0; trial < 500; trial++ {
+		pos := vec.New(src.Uniform(-30, 30), src.Uniform(-20, 220), src.Uniform(0, 20))
+		vel := vec.New(src.Uniform(-4, 4), src.Uniform(-4, 4), src.Uniform(-2, 2))
+		p := perceptionAt(pos, vel)
+		nbs := make([]comms.State, src.Intn(6))
+		for i := range nbs {
+			nbs[i] = neighborAt(i+1,
+				pos.Add(vec.New(src.Uniform(-40, 40), src.Uniform(-40, 40), src.Uniform(-5, 5))),
+				vec.New(src.Uniform(-4, 4), src.Uniform(-4, 4), src.Uniform(-2, 2)))
+		}
+		sum := c.Terms(p, nbs, w).Sum().ClampNorm(c.Params().VMax)
+		cmd := c.Command(p, nbs, w)
+		if !sum.ApproxEqual(cmd, 1e-9) {
+			t.Fatalf("trial %d: Terms().Sum() clamp %v != Command %v (pos %v, %d neighbours)",
+				trial, sum, cmd, pos, len(nbs))
+		}
 	}
 }
 

@@ -90,8 +90,12 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 	rep := &Report{Fuzzer: name}
 	rec := reportRecorder{telemetry.OrNop(opts.Telemetry), rep}
 
+	var cleanFlight sim.FlightRecorder
+	if opts.Flight != nil {
+		cleanFlight = opts.Flight.Recorder("clean")
+	}
 	span := rec.StartSpan(opts.TraceParent, "clean_run")
-	clean, err := runClean(in, rec)
+	clean, err := runClean(in, rec, cleanFlight)
 	rep.Clean = clean
 	if err != nil {
 		span.End(telemetry.KV("err", err.Error()))
@@ -115,6 +119,9 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 	}
 	span.End(telemetry.KV("seeds", len(seeds)))
 	rec.Add(telemetry.MSeedsScheduled, int64(len(seeds)))
+	if opts.Flight != nil {
+		opts.Flight.Seeds(seeds)
+	}
 
 	for _, seed := range seeds {
 		rep.SeedsTried++
@@ -135,10 +142,32 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 			rec.Add(telemetry.MSeedsCracked, 1)
 			rep.Found = true
 			rep.Findings = append(rep.Findings, *finding)
+			recordWitness(in, *finding, opts, rec)
 			return rep, nil
 		}
 	}
 	return rep, nil
+}
+
+// recordWitness logs a finding to the flight log and re-runs its spoof
+// plan with full step recording, so every cracked seed ships with an
+// explorable witness trace. A witness failure is recorded in the log's
+// run_end record rather than propagated: forensics must not change the
+// fuzzing verdict. No-op when flight recording is disabled.
+func recordWitness(in Input, f Finding, opts Options, rec telemetry.Recorder) {
+	if opts.Flight == nil {
+		return
+	}
+	opts.Flight.Finding(f.Plan, f.Victim, f.Objective)
+	plan := f.Plan
+	// The witness run's error (if any) lands in the run_end record via
+	// EndFlight; the result itself is already summarised by the finding.
+	_, _ = sim.Run(in.Mission, sim.RunOptions{
+		Controller: in.Controller,
+		Spoof:      &plan,
+		Telemetry:  rec,
+		Flight:     opts.Flight.Recorder("witness"),
+	})
 }
 
 // randomSeeds samples as many random ⟨T−V, θ⟩ seeds as the SVG
@@ -197,6 +226,9 @@ func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec te
 		iters++
 		if err != nil {
 			return iters, nil, err
+		}
+		if opts.Flight != nil {
+			opts.Flight.Search(seed, iter, ts, dt, ev.objective)
 		}
 		if ev.success {
 			return iters, &Finding{

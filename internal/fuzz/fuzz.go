@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"swarmfuzz/internal/flightlog"
 	"swarmfuzz/internal/gps"
 	"swarmfuzz/internal/opt"
 	"swarmfuzz/internal/sim"
@@ -91,6 +92,12 @@ type Options struct {
 	// under (the caller's campaign or mission span); 0 makes them
 	// roots.
 	TraceParent telemetry.SpanID
+	// Flight, when non-nil, receives the mission's forensic flight log:
+	// the clean run's step stream, both directions' SVG edges, the
+	// scheduled seed order, every search iterate, and — for each
+	// finding — the finding itself plus a fully recorded witness re-run
+	// of its spoof plan. Nil (the default) disables recording.
+	Flight *flightlog.MissionLog
 }
 
 // DefaultOptions returns the paper's parameterisation.
@@ -212,12 +219,13 @@ func (r reportRecorder) Add(name string, delta int64) {
 }
 
 // runClean executes the initial no-attack test with trajectory
-// recording (step 1 of Fig. 3).
-func runClean(in Input, rec telemetry.Recorder) (*sim.Result, error) {
+// recording (step 1 of Fig. 3). flight may be nil.
+func runClean(in Input, rec telemetry.Recorder, flight sim.FlightRecorder) (*sim.Result, error) {
 	res, err := sim.Run(in.Mission, sim.RunOptions{
 		Controller:       in.Controller,
 		RecordTrajectory: true,
 		Telemetry:        rec,
+		Flight:           flight,
 	})
 	if err != nil {
 		return nil, err
@@ -333,6 +341,15 @@ func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options, rec te
 		g := opts.Grad
 		g.MaxIters = budget
 		g.Horizon = horizon
+		if opts.Flight != nil {
+			// The flight log's iterate trail numbers iterations across
+			// the whole multi-start schedule, matching the per-seed
+			// budget accounting.
+			base := acc.Iters
+			g.Trace = func(iter int, ts, dt, value float64) {
+				opts.Flight.Search(seed, base+iter, ts, dt, value)
+			}
+		}
 		res, err := opt.Minimize(objective, math.Max(s[0], 0), math.Max(s[1], 0.5), g)
 		if err != nil {
 			return acc, nil, err

@@ -47,6 +47,9 @@ func scheduleSeeds(in Input, clean *sim.Result, opts Options, rec telemetry.Reco
 		}
 		rec.Add(telemetry.MSVGBuilds, 1)
 		graphs[dir] = g
+		if opts.Flight != nil {
+			opts.Flight.SVG(dir, g)
+		}
 	}
 	return svg.ScheduleK(graphs, clean.MinClearance, cfg.PageRank, opts.TargetsPerVictim)
 }

@@ -39,6 +39,12 @@ type Options struct {
 	// MinStep stops the search when the parameter update is smaller
 	// than this (stalled descent).
 	MinStep float64
+	// Trace, when non-nil, observes every counted iterate of the
+	// descent: the zero-based iteration index, the evaluated point and
+	// its objective value. Gradient probes are not traced unless they
+	// terminate the search (a probe that finds the collision counts as
+	// an iteration, matching Result.Iters).
+	Trace func(iter int, ts, dt, value float64)
 }
 
 // DefaultOptions returns the parameterisation used by SwarmFuzz: the
@@ -102,6 +108,9 @@ func Minimize(f Objective, ts0, dt0 float64, opts Options) (Result, error) {
 		v := f(ts, dt)
 		res.Iters++
 		res.Evals++
+		if opts.Trace != nil {
+			opts.Trace(res.Iters-1, ts, dt, v)
+		}
 		if v < res.Value {
 			res.Value, res.TS, res.DT = v, ts, dt
 		}
@@ -123,12 +132,18 @@ func Minimize(f Objective, ts0, dt0 float64, opts Options) (Result, error) {
 			res.Found = true
 			res.Value, res.TS, res.DT = vts, ts+h, dt
 			res.Iters++
+			if opts.Trace != nil {
+				opts.Trace(res.Iters-1, ts+h, dt, vts)
+			}
 			return res, nil
 		}
 		if vdt <= 0 {
 			res.Found = true
 			res.Value, res.TS, res.DT = vdt, ts, dt+h
 			res.Iters++
+			if opts.Trace != nil {
+				opts.Trace(res.Iters-1, ts, dt+h, vdt)
+			}
 			return res, nil
 		}
 

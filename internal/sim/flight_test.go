@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"swarmfuzz/internal/comms"
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/robust"
+	"swarmfuzz/internal/vec"
+)
+
+// captureRecorder snapshots what the runner hands a FlightRecorder,
+// copying everything during the call as the contract requires.
+type captureRecorder struct {
+	begins     int
+	mission    *Mission
+	steps      []capturedStep
+	collisions []Collision
+	ends       int
+	endRes     *Result
+	endErr     error
+}
+
+type capturedStep struct {
+	step     int
+	time     float64
+	bodies   []Body
+	readings []vec.Vec3
+	commands []vec.Vec3
+	obs      [][]comms.State
+}
+
+var _ FlightRecorder = (*captureRecorder)(nil)
+
+func (r *captureRecorder) BeginFlight(m *Mission, _ *gps.SpoofPlan) {
+	r.begins++
+	r.mission = m
+}
+
+func (r *captureRecorder) RecordStep(s FlightStep) {
+	cs := capturedStep{
+		step:     s.Step,
+		time:     s.Time,
+		bodies:   append([]Body(nil), s.Bodies...),
+		commands: append([]vec.Vec3(nil), s.Commands...),
+	}
+	for _, rd := range s.Readings {
+		cs.readings = append(cs.readings, rd.Position)
+	}
+	for _, o := range s.Observations {
+		cs.obs = append(cs.obs, append([]comms.State(nil), o...))
+	}
+	r.steps = append(r.steps, cs)
+}
+
+func (r *captureRecorder) RecordCollision(c Collision) {
+	r.collisions = append(r.collisions, c)
+}
+
+func (r *captureRecorder) EndFlight(res *Result, err error) {
+	r.ends++
+	r.endRes = res
+	r.endErr = err
+}
+
+func TestFlightRecorderLifecycle(t *testing.T) {
+	cfg := smallConfig(3, 2)
+	cfg.ObstacleLateralJitter = 0
+	m, err := NewMission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.World.Obstacles[0].Center = vec.New(500, 500, 0)
+	rec := &captureRecorder{}
+	res, err := Run(m, RunOptions{Controller: straightController{2}, Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.begins != 1 {
+		t.Errorf("BeginFlight called %d times", rec.begins)
+	}
+	if rec.ends != 1 || rec.endRes != res || rec.endErr != nil {
+		t.Errorf("EndFlight: ends=%d res-match=%v err=%v", rec.ends, rec.endRes == res, rec.endErr)
+	}
+	if len(rec.steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	for _, s := range rec.steps {
+		if s.step%cfg.SampleEvery != 0 {
+			t.Fatalf("step %d recorded off the sampling grid (every %d)", s.step, cfg.SampleEvery)
+		}
+		if len(s.bodies) != 3 || len(s.readings) != 3 || len(s.commands) != 3 {
+			t.Fatalf("step %d slice lengths: %d/%d/%d", s.step, len(s.bodies), len(s.readings), len(s.commands))
+		}
+	}
+}
+
+// TestFlightRecorderStepConsistency pins the placement contract: at the
+// instant RecordStep fires, re-running the controller on the recorded
+// readings reproduces the recorded commands exactly. This is what lets
+// the flight log decompose every issued command after the fact.
+func TestFlightRecorderStepConsistency(t *testing.T) {
+	cfg := smallConfig(3, 5)
+	m, err := NewMission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := straightController{2}
+	rec := &captureRecorder{}
+	if _, err := Run(m, RunOptions{Controller: ctrl, Flight: rec}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.steps {
+		obsIdx := 0
+		for i := range s.bodies {
+			if s.bodies[i].Crashed {
+				continue
+			}
+			var nbs []comms.State
+			if obsIdx < len(s.obs) {
+				nbs = s.obs[obsIdx]
+			}
+			obsIdx++
+			p := Perception{ID: i, Velocity: s.bodies[i].Vel, Time: s.time}
+			p.GPS.Position = s.readings[i]
+			want := ctrl.Command(p, nbs, &m.World)
+			if got := s.commands[i]; got != want {
+				t.Fatalf("step %d drone %d: recorded command %v, recomputed %v", s.step, i, got, want)
+			}
+		}
+	}
+}
+
+func TestFlightRecorderSeesCollisions(t *testing.T) {
+	cfg := smallConfig(2, 3)
+	m, err := NewMission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.World.Obstacles[0].Center = m.Start[0].Add(vec.New(0, 20, 0))
+	rec := &captureRecorder{}
+	res, err := Run(m, RunOptions{Controller: straightController{2}, Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.collisions) != len(res.Collisions) {
+		t.Fatalf("recorder saw %d collisions, result has %d", len(rec.collisions), len(res.Collisions))
+	}
+	for i, c := range rec.collisions {
+		if c != res.Collisions[i] {
+			t.Errorf("collision %d: recorded %+v, result %+v", i, c, res.Collisions[i])
+		}
+	}
+}
+
+func TestFlightRecorderEndOnError(t *testing.T) {
+	m, err := NewMission(smallConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &captureRecorder{}
+	_, err = Run(m, RunOptions{Controller: nanController{after: 1}, Flight: rec})
+	if !errors.Is(err, robust.ErrDiverged) {
+		t.Fatalf("err = %v, want robust.ErrDiverged", err)
+	}
+	if rec.ends != 1 {
+		t.Fatalf("EndFlight called %d times on a diverged run, want exactly 1", rec.ends)
+	}
+	if !errors.Is(rec.endErr, robust.ErrDiverged) {
+		t.Errorf("EndFlight err = %v, want the divergence error", rec.endErr)
+	}
+}
+
+func TestFlightRecorderDoesNotPerturbRun(t *testing.T) {
+	cfg := DefaultMissionConfig(4, 11)
+	cfg.MaxTime = 30
+	m, err := NewMission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := Run(m, RunOptions{Controller: straightController{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, err := Run(m, RunOptions{Controller: straightController{2}, Flight: &captureRecorder{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Duration != recorded.Duration || bare.Completed != recorded.Completed {
+		t.Error("recording changed the run summary")
+	}
+	for i := range bare.MinClearance {
+		if bare.MinClearance[i] != recorded.MinClearance[i] {
+			t.Fatalf("clearance %d differs with recording: %v vs %v", i, bare.MinClearance[i], recorded.MinClearance[i])
+		}
+	}
+}

@@ -165,6 +165,11 @@ type RunOptions struct {
 	// Telemetry receives the run's counters (sim_runs, sim_steps) and
 	// its wall-time histogram sample; nil disables recording.
 	Telemetry telemetry.Recorder
+	// Flight, when non-nil, receives the run's black-box recording: the
+	// full sensed/decided/true state of every sample step plus
+	// collision events and the final result. Nil (the default) records
+	// nothing and costs one nil check per step on the hot path.
+	Flight FlightRecorder
 }
 
 // errNilController is returned when RunOptions lack a controller.
@@ -173,7 +178,7 @@ var errNilController = errors.New("sim: RunOptions.Controller is required")
 // Run simulates the mission and returns its Result. It is
 // deterministic: identical mission, options and spoof plan yield an
 // identical result.
-func Run(m *Mission, opts RunOptions) (*Result, error) {
+func Run(m *Mission, opts RunOptions) (res *Result, err error) {
 	if opts.Controller == nil {
 		return nil, errNilController
 	}
@@ -192,6 +197,15 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 				opts.Spoof.Target, cfg.NumDrones)
 		}
 		spoofer = gps.NewSpoofer(*opts.Spoof, m.Axis)
+	}
+
+	// The flight recorder only observes runs that passed validation, and
+	// its EndFlight fires exactly once on every exit — success,
+	// divergence abort or exhausted step budget — with the same values
+	// the caller receives.
+	if opts.Flight != nil {
+		opts.Flight.BeginFlight(m, opts.Spoof)
+		defer func() { opts.Flight.EndFlight(res, err) }()
 	}
 
 	// Every run that passes validation counts as one simulation —
@@ -215,7 +229,7 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 		sensors[i] = gps.NewSensor(cfg.GPSBias, cfg.GPSNoise, rng.DeriveN(cfg.Seed, "gps", i))
 	}
 
-	res := &Result{MinClearance: make([]float64, n)}
+	res = &Result{MinClearance: make([]float64, n)}
 	for i := range res.MinClearance {
 		_, d := m.World.NearestObstacle(bodies[i].Pos)
 		res.MinClearance[i] = d - cfg.DroneRadius
@@ -279,6 +293,21 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 			obsIdx++
 		}
 
+		// Flight recording sits between decide and actuate, so the
+		// recorded Commands are exactly what the controllers derived
+		// from the recorded Readings and Observations. The slices
+		// alias the loop's buffers; recorders copy what they keep.
+		if opts.Flight != nil && step%cfg.SampleEvery == 0 {
+			opts.Flight.RecordStep(FlightStep{
+				Step:         step,
+				Time:         t,
+				Bodies:       bodies,
+				Readings:     readings,
+				Commands:     cmds,
+				Observations: observations,
+			})
+		}
+
 		// Actuate, guarding against numerical divergence: a state that
 		// leaves the realm of finite numbers poisons every derived
 		// metric (clearances, SVG weights, gradients), so the run is
@@ -303,9 +332,11 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 			}
 			if oi >= 0 && clear <= 0 {
 				bodies[i].Crashed = true
-				res.Collisions = append(res.Collisions, Collision{
-					Drone: i, Kind: KindObstacle, Other: oi, Time: t, Pos: bodies[i].Pos,
-				})
+				c := Collision{Drone: i, Kind: KindObstacle, Other: oi, Time: t, Pos: bodies[i].Pos}
+				res.Collisions = append(res.Collisions, c)
+				if opts.Flight != nil {
+					opts.Flight.RecordCollision(c)
+				}
 			}
 		}
 		for i := 0; i < n; i++ {
@@ -319,10 +350,13 @@ func Run(m *Mission, opts RunOptions) (*Result, error) {
 				if bodies[i].Pos.Dist(bodies[j].Pos) <= 2*cfg.DroneRadius {
 					bodies[i].Crashed = true
 					bodies[j].Crashed = true
-					res.Collisions = append(res.Collisions,
-						Collision{Drone: i, Kind: KindDrone, Other: j, Time: t, Pos: bodies[i].Pos},
-						Collision{Drone: j, Kind: KindDrone, Other: i, Time: t, Pos: bodies[j].Pos},
-					)
+					ci := Collision{Drone: i, Kind: KindDrone, Other: j, Time: t, Pos: bodies[i].Pos}
+					cj := Collision{Drone: j, Kind: KindDrone, Other: i, Time: t, Pos: bodies[j].Pos}
+					res.Collisions = append(res.Collisions, ci, cj)
+					if opts.Flight != nil {
+						opts.Flight.RecordCollision(ci)
+						opts.Flight.RecordCollision(cj)
+					}
 					break
 				}
 			}

@@ -1,0 +1,88 @@
+package svg
+
+import (
+	"testing"
+
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/graph"
+)
+
+// TestScheduleKTieBreakDeterministic pins the seed order when every
+// score ties: empty SVGs give all drones the same uniform PageRank and
+// a shared VDO ties too, so only the explicit tie-breakers (direction
+// Right before Left, then victim, then target) decide. The schedule
+// must still be one fixed, fully deterministic order.
+func TestScheduleKTieBreakDeterministic(t *testing.T) {
+	const n = 3
+	svgs := map[gps.Direction]*graph.Digraph{
+		gps.Right: graph.NewDigraph(n),
+		gps.Left:  graph.NewDigraph(n),
+	}
+	minClear := []float64{2, 2, 2}
+
+	want := []struct {
+		dir            gps.Direction
+		victim, target int
+	}{
+		{gps.Right, 0, 1}, {gps.Right, 0, 2},
+		{gps.Right, 1, 0}, {gps.Right, 1, 2},
+		{gps.Right, 2, 0}, {gps.Right, 2, 1},
+		{gps.Left, 0, 1}, {gps.Left, 0, 2},
+		{gps.Left, 1, 0}, {gps.Left, 1, 2},
+		{gps.Left, 2, 0}, {gps.Left, 2, 1},
+	}
+
+	var first []Seed
+	for trial := 0; trial < 10; trial++ {
+		seeds, err := ScheduleK(svgs, minClear, graph.DefaultPageRankOptions(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seeds) != len(want) {
+			t.Fatalf("got %d seeds, want %d", len(seeds), len(want))
+		}
+		for i, s := range seeds {
+			if s.Direction != want[i].dir || s.Victim != want[i].victim || s.Target != want[i].target {
+				t.Fatalf("seed %d = T%d-V%d θ=%s, want T%d-V%d θ=%s",
+					i, s.Target, s.Victim, s.Direction,
+					want[i].target, want[i].victim, want[i].dir)
+			}
+			if s.Influence != seeds[0].Influence {
+				t.Fatalf("seed %d influence %v differs despite uniform PageRank", i, s.Influence)
+			}
+		}
+		if trial == 0 {
+			first = seeds
+			continue
+		}
+		for i := range seeds {
+			if seeds[i] != first[i] {
+				t.Fatalf("trial %d seed %d = %+v, differs from first trial's %+v", trial, i, seeds[i], first[i])
+			}
+		}
+	}
+}
+
+// TestScheduleKTieBreakScoresFirst checks the tie-breakers only kick in
+// on genuine ties: a lower VDO always outranks direction preference.
+func TestScheduleKTieBreakScoresFirst(t *testing.T) {
+	svgs := map[gps.Direction]*graph.Digraph{
+		gps.Right: graph.NewDigraph(3),
+		gps.Left:  graph.NewDigraph(3),
+	}
+	// Victim 2 is closest to the obstacle; its seeds must lead in both
+	// directions before any tie-breaking by direction.
+	seeds, err := ScheduleK(svgs, []float64{5, 4, 1}, graph.DefaultPageRankOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 6 {
+		t.Fatalf("got %d seeds, want 6", len(seeds))
+	}
+	if seeds[0].Victim != 2 || seeds[1].Victim != 2 {
+		t.Fatalf("lowest-VDO victim not scheduled first: %+v", seeds[:2])
+	}
+	if seeds[0].Direction != gps.Right || seeds[1].Direction != gps.Left {
+		t.Errorf("equal-score direction order = %s, %s; want right then left", seeds[0].Direction, seeds[1].Direction)
+	}
+}

@@ -343,11 +343,26 @@ func ScheduleK(svgs map[gps.Direction]*graph.Digraph, minClearance []float64, pr
 		}
 	}
 
+	// The final order is fully deterministic: VDO, then influence, then
+	// explicit tie-breakers (direction Right before Left, then victim,
+	// then target). Equal-score seeds are common — e.g. empty SVGs give
+	// every drone the same uniform PageRank — and downstream consumers
+	// (the forensics report, the campaign tables) sort by score and
+	// must observe a stable order.
 	sort.SliceStable(seeds, func(a, b int) bool {
-		if seeds[a].VDO != seeds[b].VDO {
-			return seeds[a].VDO < seeds[b].VDO
+		sa, sb := seeds[a], seeds[b]
+		switch {
+		case sa.VDO != sb.VDO:
+			return sa.VDO < sb.VDO
+		case sa.Influence != sb.Influence:
+			return sa.Influence > sb.Influence
+		case sa.Direction != sb.Direction:
+			return sa.Direction > sb.Direction
+		case sa.Victim != sb.Victim:
+			return sa.Victim < sb.Victim
+		default:
+			return sa.Target < sb.Target
 		}
-		return seeds[a].Influence > seeds[b].Influence
 	})
 	return seeds, nil
 }

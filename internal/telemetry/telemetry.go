@@ -58,6 +58,10 @@ const (
 	// MCheckpointSaves and MCheckpointLoads count grid checkpoint I/O.
 	MCheckpointSaves = "checkpoint_saves"
 	MCheckpointLoads = "checkpoint_loads"
+	// MFlightsRecorded counts mission flight logs written.
+	MFlightsRecorded = "flights_recorded"
+	// MPostmortems counts HTML post-mortems rendered.
+	MPostmortems = "postmortems_written"
 )
 
 // histBounds fixes per-metric histogram bucket bounds. Metrics not
