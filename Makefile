@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -28,4 +28,15 @@ check: build vet race
 # code every worker goroutine shares.
 bench:
 	BENCH_OUT=$(CURDIR)/BENCH_telemetry.json BENCH_BASELINE=$(CURDIR)/BENCH_baseline.json $(GO) test -bench=. -benchtime=1x -run=^$$ .
+	rm -f $(CURDIR)/BENCH_hotpath.json
+	BENCH_HOTPATH=$(CURDIR)/BENCH_hotpath.json $(GO) test -bench='^(BenchmarkSimStep|BenchmarkSeedSearch)$$' -benchtime=1x -run=^$$ .
 	$(GO) test -race ./internal/telemetry/...
+
+# bench-compare measures the hot path afresh and diffs it against the
+# committed BENCH_hotpath.json, failing on any ns/step (or ns/walk)
+# regression beyond 20%. Run `make bench` and commit the regenerated
+# BENCH_hotpath.json to accept an intentional cost change.
+bench-compare:
+	rm -f $(CURDIR)/BENCH_hotpath.new.json
+	BENCH_HOTPATH=$(CURDIR)/BENCH_hotpath.new.json $(GO) test -bench='^(BenchmarkSimStep|BenchmarkSeedSearch)$$' -benchtime=1x -run=^$$ .
+	$(GO) run ./tools/benchcompare -old $(CURDIR)/BENCH_hotpath.json -new $(CURDIR)/BENCH_hotpath.new.json -max-regression 0.20

@@ -10,8 +10,10 @@ package swarmfuzz_bench
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"testing"
@@ -440,5 +442,147 @@ func BenchmarkGradientDescent(b *testing.B) {
 		if _, err := opt.Minimize(f, 5, 5, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- hot-path regression benchmarks ---
+
+// hotpathRecord merges one measurement into the JSON file named by the
+// BENCH_HOTPATH environment variable (no-op when unset). The file maps
+// benchmark keys to metric maps; `make bench` regenerates the committed
+// BENCH_hotpath.json from it and `make bench-compare` diffs a fresh
+// run against that baseline.
+func hotpathRecord(b *testing.B, key string, metrics map[string]float64) {
+	b.Helper()
+	out := os.Getenv("BENCH_HOTPATH")
+	if out == "" {
+		return
+	}
+	doc := map[string]map[string]float64{}
+	if data, err := os.ReadFile(out); err == nil {
+		_ = json.Unmarshal(data, &doc)
+	}
+	doc[key] = metrics
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// stepperFor builds a warmed-up Stepper (a few steps in, so every
+// arena and scratch buffer has reached steady state).
+func stepperFor(b *testing.B, ctrl sim.Controller, n int) (*sim.Mission, *sim.Stepper) {
+	b.Helper()
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(n, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := sim.NewStepper(mission, sim.RunOptions{Controller: ctrl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := st.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return mission, st
+}
+
+// BenchmarkSimStep measures one simulation tick in steady state — the
+// innermost unit of every fuzzing iteration — across swarm sizes. The
+// hot path is allocation-free (pinned by TestStepperZeroAlloc and
+// visible here as allocs/op = 0). With BENCH_HOTPATH set it also runs
+// a fixed-size measured loop so the recorded ns/step figure is stable
+// even under -benchtime=1x.
+func BenchmarkSimStep(b *testing.B) {
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{5, 10, 25, 50} {
+		b.Run(fmt.Sprintf("%ddrones", n), func(b *testing.B) {
+			mission, st := stepperFor(b, ctrl, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				done, err := st.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if done {
+					b.StopTimer()
+					_, st = stepperFor(b, ctrl, n)
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			if os.Getenv("BENCH_HOTPATH") == "" {
+				return
+			}
+			// Fixed-work measurement: 50k steps, stepper resets untimed.
+			const steps = 50_000
+			_, st = stepperFor(b, ctrl, n)
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			var elapsed time.Duration
+			t0 := time.Now()
+			for i := 0; i < steps; i++ {
+				done, err := st.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if done {
+					elapsed += time.Since(t0)
+					_, st = stepperFor(b, ctrl, n)
+					t0 = time.Now()
+				}
+			}
+			elapsed += time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			_ = mission
+			hotpathRecord(b, fmt.Sprintf("sim_step_n%d", n), map[string]float64{
+				"ns_per_step":     float64(elapsed.Nanoseconds()) / steps,
+				"allocs_per_step": float64(ms1.Mallocs-ms0.Mallocs) / steps,
+			})
+		})
+	}
+}
+
+// BenchmarkSeedSearch measures a full SwarmFuzz seed walk on one
+// mission, sequentially and with four speculative workers. The two
+// walks produce byte-identical reports (pinned in internal/fuzz); this
+// benchmark shows what the speculation buys in wall time.
+func BenchmarkSeedSearch(b *testing.B) {
+	ctrl, err := flock.New(flock.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(5, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := fuzz.Input{Mission: mission, Controller: ctrl, SpoofDistance: 10}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			opts := fuzz.DefaultOptions()
+			opts.MaxIterPerSeed = 6
+			opts.MaxSeeds = 8
+			opts.SeedWorkers = workers
+			b.ResetTimer()
+			t0 := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := (fuzz.SwarmFuzz{}).Fuzz(in, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			hotpathRecord(b, fmt.Sprintf("seed_search_workers%d", workers), map[string]float64{
+				"ns_per_walk": float64(time.Since(t0).Nanoseconds()) / float64(b.N),
+			})
+		})
 	}
 }

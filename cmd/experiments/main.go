@@ -82,6 +82,7 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 		checkpoint = fs.String("checkpoint", "", "directory to persist finished grid cells into and resume from")
 		retries    = fs.Int("retries", 2, "extra attempts for transiently-failed missions (deadline misses)")
 		progress   = fs.Duration("progress", 30*time.Second, "interval between progress summaries (0 = none)")
+		workers    = fs.Int("seed-workers", 0, "speculative seed-search workers per mission (0/1 = sequential; results are identical either way)")
 		flightDir  = fs.String("flightlog", "", "directory to archive flight logs of cracked/degraded missions into")
 		postmortem = fs.Bool("postmortem", false, "render an HTML post-mortem next to each archived flight log")
 	)
@@ -106,6 +107,7 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 
 	cfg := experiments.DefaultConfig(*missions)
 	cfg.BaseSeed = *seed
+	cfg.Fuzz.SeedWorkers = *workers
 	cfg.MissionTimeout = *timeout
 	cfg.Checkpoint = *checkpoint
 	cfg.Retry.MaxAttempts = 1 + *retries

@@ -77,6 +77,7 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 		name    = fs.String("fuzzer", "swarmfuzz", "fuzzer: swarmfuzz|r_fuzz|g_fuzz|s_fuzz")
 		maxIter = fs.Int("iters", 20, "max search iterations per seed")
 		timeout = fs.Duration("timeout", 0, "fuzzing deadline (0 = none)")
+		workers = fs.Int("seed-workers", 0, "speculative seed-search workers (0/1 = sequential; report is identical either way)")
 		flight  = fs.String("flightlog", "", "directory to write the mission's flight log into")
 		postmor = fs.Bool("postmortem", false, "render an HTML post-mortem next to the flight log (needs -flightlog)")
 	)
@@ -108,6 +109,7 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 	}
 	opts := fuzz.DefaultOptions()
 	opts.MaxIterPerSeed = *maxIter
+	opts.SeedWorkers = *workers
 	opts.Telemetry = tel.Rec
 	if *flight != "" {
 		arch, aerr := flightlog.NewArchive(*flight, ctrl)

@@ -9,6 +9,13 @@
 // last state they heard), and are used by failure-injection tests and
 // the communication-sensitivity extension experiments. All buses are
 // deterministic given their construction parameters.
+//
+// Buses expose two views of the same exchange. ExchangeInto is the hot
+// path: it writes all observations into one flat reusable arena owned
+// by the bus and returns slices that alias it, so a steady-state
+// simulation tick allocates nothing. Exchange is the compatibility
+// wrapper that deep-copies the arena into fresh slices. A bus instance
+// is not safe for concurrent use.
 package comms
 
 import (
@@ -33,23 +40,79 @@ type State struct {
 	Time float64
 }
 
-// Bus delivers one tick of state exchange. Exchange takes the states
-// published this tick — one per *active* drone; crashed drones stop
-// broadcasting, so IDs need not be contiguous — and returns, for each
-// publisher (positionally aligned with the input), the neighbour
+// Bus delivers one tick of state exchange. Both methods take the
+// states published this tick — one per *active* drone; crashed drones
+// stop broadcasting, so IDs need not be contiguous — and return, for
+// each publisher (positionally aligned with the input), the neighbour
 // states it observes this tick. Senders and receivers are matched by
 // State.ID. The returned slices never include the receiver's own state.
 //
-// Implementations must be deterministic: the same sequence of Exchange
+// Exchange returns freshly allocated slices the caller owns.
+// ExchangeInto returns slices backed by a single reusable arena owned
+// by the bus: they are valid only until the next Exchange/ExchangeInto
+// call, and callers that retain observations across ticks must copy
+// them. Both methods advance the bus's internal state (RNG draws,
+// delay history) identically; for any call sequence they produce
+// element-wise identical observations.
+//
+// Implementations must be deterministic: the same sequence of exchange
 // calls on a bus constructed with the same parameters yields the same
 // observations.
 type Bus interface {
 	Exchange(published []State) [][]State
+	ExchangeInto(published []State) [][]State
+}
+
+// arena is the flat reusable storage backing ExchangeInto. All
+// observations of one exchange live contiguously in flat; rows holds
+// one sub-slice per receiver. Capacity is reserved up front by reset
+// so rows handed out mid-exchange are never invalidated by growth.
+type arena struct {
+	flat []State
+	rows [][]State
+}
+
+// reset prepares the arena for n receivers and at most maxObs total
+// observations.
+func (a *arena) reset(n, maxObs int) {
+	if cap(a.rows) < n {
+		a.rows = make([][]State, n)
+	}
+	a.rows = a.rows[:n]
+	if a.flat == nil || cap(a.flat) < maxObs {
+		c := maxObs
+		if c < 1 {
+			c = 1
+		}
+		a.flat = make([]State, 0, c)
+	}
+	a.flat = a.flat[:0]
+}
+
+// seal fixes row i to the observations appended since mark. The full
+// slice expression caps the row so appends by callers cannot clobber
+// the next receiver's observations.
+func (a *arena) seal(i, mark int) {
+	a.rows[i] = a.flat[mark:len(a.flat):len(a.flat)]
+}
+
+// copyRows deep-copies arena-backed rows into fresh caller-owned
+// slices; it is the shared Exchange compatibility wrapper.
+func copyRows(rows [][]State) [][]State {
+	out := make([][]State, len(rows))
+	for i, r := range rows {
+		obs := make([]State, len(r))
+		copy(obs, r)
+		out[i] = obs
+	}
+	return out
 }
 
 // PerfectBus delivers every broadcast instantly and reliably. It is the
 // paper's communication model.
-type PerfectBus struct{}
+type PerfectBus struct {
+	arena arena
+}
 
 var _ Bus = (*PerfectBus)(nil)
 
@@ -58,18 +121,36 @@ func NewPerfectBus() *PerfectBus { return &PerfectBus{} }
 
 // Exchange implements Bus.
 func (b *PerfectBus) Exchange(published []State) [][]State {
+	return copyRows(b.ExchangeInto(published))
+}
+
+// ExchangeInto implements Bus. The returned slices alias the bus's
+// arena and are valid until the next exchange.
+func (b *PerfectBus) ExchangeInto(published []State) [][]State {
 	n := len(published)
-	out := make([][]State, n)
+	b.arena.reset(n, n*(n-1))
 	for i := 0; i < n; i++ {
-		obs := make([]State, 0, n-1)
+		mark := len(b.arena.flat)
+		// Bulk-copy the runs between self-ID matches: same rows as
+		// filtering one state at a time, but via memmove.
+		id := published[i].ID
+		run := 0
 		for j := 0; j < n; j++ {
-			if published[j].ID != published[i].ID {
-				obs = append(obs, published[j])
+			if published[j].ID == id {
+				b.arena.flat = append(b.arena.flat, published[run:j]...)
+				run = j + 1
 			}
 		}
-		out[i] = obs
+		b.arena.flat = append(b.arena.flat, published[run:n]...)
+		b.arena.seal(i, mark)
 	}
-	return out
+	return b.arena.rows
+}
+
+// heardState is one cell of the LossyBus last-heard table.
+type heardState struct {
+	s  State
+	ok bool
 }
 
 // LossyBus drops each (sender, receiver) packet independently with
@@ -79,8 +160,13 @@ func (b *PerfectBus) Exchange(published []State) [][]State {
 type LossyBus struct {
 	dropProb float64
 	src      *rng.Source
-	// last maps receiver ID → sender ID → most recently delivered state.
-	last map[int]map[int]State
+	// heard is a dense receiver×sender last-heard table, indexed
+	// [receiverID*stride + senderID]. It is sized from the largest ID
+	// seen at first Exchange and only regrown if a larger ID appears,
+	// replacing the per-call map churn of the original implementation.
+	heard  []heardState
+	stride int
+	arena  arena
 }
 
 var _ Bus = (*LossyBus)(nil)
@@ -94,47 +180,75 @@ func NewLossyBus(dropProb float64, seed uint64) (*LossyBus, error) {
 	return &LossyBus{dropProb: dropProb, src: rng.Derive(seed, "comms/lossy")}, nil
 }
 
+// ensureTable grows the last-heard table to cover IDs < size,
+// preserving existing entries.
+func (b *LossyBus) ensureTable(size int) {
+	if size <= b.stride {
+		return
+	}
+	grown := make([]heardState, size*size)
+	for r := 0; r < b.stride; r++ {
+		copy(grown[r*size:r*size+b.stride], b.heard[r*b.stride:(r+1)*b.stride])
+	}
+	b.heard = grown
+	b.stride = size
+}
+
 // Exchange implements Bus. Only currently-broadcasting senders are
 // delivered: a dropped packet falls back to the last heard state of
 // that sender, but a sender absent from published (e.g. crashed)
 // disappears from everyone's observations immediately.
 func (b *LossyBus) Exchange(published []State) [][]State {
-	if b.last == nil {
-		b.last = make(map[int]map[int]State)
-	}
+	return copyRows(b.ExchangeInto(published))
+}
+
+// ExchangeInto implements Bus. The returned slices alias the bus's
+// arena and are valid until the next exchange. Drop decisions are
+// drawn in the same (receiver-major, sender-minor) order as Exchange
+// always has, so the RNG stream — and therefore every observation —
+// is unchanged.
+func (b *LossyBus) ExchangeInto(published []State) [][]State {
 	n := len(published)
-	out := make([][]State, n)
+	maxID := -1
+	for j := 0; j < n; j++ {
+		if published[j].ID > maxID {
+			maxID = published[j].ID
+		}
+	}
+	b.ensureTable(maxID + 1)
+	b.arena.reset(n, n*(n-1))
 	for i := 0; i < n; i++ {
 		ri := published[i].ID
-		hist := b.last[ri]
-		if hist == nil {
-			hist = make(map[int]State, n-1)
-			b.last[ri] = hist
-		}
-		obs := make([]State, 0, n-1)
+		row := b.heard[ri*b.stride : (ri+1)*b.stride]
+		mark := len(b.arena.flat)
 		for j := 0; j < n; j++ {
 			sid := published[j].ID
 			if sid == ri {
 				continue
 			}
 			if !b.src.Bool(b.dropProb) {
-				hist[sid] = published[j]
+				row[sid] = heardState{s: published[j], ok: true}
 			}
-			if s, ok := hist[sid]; ok {
-				obs = append(obs, s)
+			if row[sid].ok {
+				b.arena.flat = append(b.arena.flat, row[sid].s)
 			}
 		}
-		out[i] = obs
+		b.arena.seal(i, mark)
 	}
-	return out
+	return b.arena.rows
 }
 
 // DelayedBus delivers every broadcast after a fixed number of ticks.
 // With Delay == 0 it behaves like PerfectBus. During the first Delay
 // ticks, receivers observe the oldest published states available.
 type DelayedBus struct {
-	delay   int
-	history [][]State
+	delay int
+	// ring holds the last delay+1 published snapshots in reusable
+	// buffers; calls counts exchanges so far, so snapshot c lives in
+	// slot c%(delay+1) until overwritten delay+1 calls later.
+	ring  [][]State
+	calls int
+	arena arena
 }
 
 var _ Bus = (*DelayedBus)(nil)
@@ -149,36 +263,40 @@ func NewDelayedBus(delay int) (*DelayedBus, error) {
 
 // Exchange implements Bus.
 func (b *DelayedBus) Exchange(published []State) [][]State {
-	snapshot := make([]State, len(published))
-	copy(snapshot, published)
-	b.history = append(b.history, snapshot)
+	return copyRows(b.ExchangeInto(published))
+}
 
-	// Observation tick: delay ticks ago, clamped to the oldest we have.
-	idx := len(b.history) - 1 - b.delay
-	if idx < 0 {
-		idx = 0
+// ExchangeInto implements Bus. The returned slices alias the bus's
+// arena and are valid until the next exchange.
+func (b *DelayedBus) ExchangeInto(published []State) [][]State {
+	k := b.delay + 1
+	if b.ring == nil {
+		b.ring = make([][]State, k)
 	}
-	// Trim history we will never need again.
-	if drop := len(b.history) - 1 - b.delay; drop > 0 {
-		b.history = b.history[drop:]
-		idx -= drop
-		if idx < 0 {
-			idx = 0
-		}
+	slot := b.calls % k
+	b.ring[slot] = append(b.ring[slot][:0], published...)
+
+	// Observation tick: delay ticks ago, clamped to the oldest we
+	// have. That snapshot was written delay < k calls ago, so it is
+	// still live in its ring slot.
+	srcCall := b.calls - b.delay
+	if srcCall < 0 {
+		srcCall = 0
 	}
-	src := b.history[idx]
+	src := b.ring[srcCall%k]
+	b.calls++
 
 	n := len(published)
-	out := make([][]State, n)
+	b.arena.reset(n, n*len(src))
 	for i := 0; i < n; i++ {
 		ri := published[i].ID
-		obs := make([]State, 0, n-1)
+		mark := len(b.arena.flat)
 		for j := 0; j < len(src); j++ {
 			if src[j].ID != ri {
-				obs = append(obs, src[j])
+				b.arena.flat = append(b.arena.flat, src[j])
 			}
 		}
-		out[i] = obs
+		b.arena.seal(i, mark)
 	}
-	return out
+	return b.arena.rows
 }

@@ -218,7 +218,7 @@ func TestDelayedBusHistoryTrimming(t *testing.T) {
 	for tick := 0; tick < 1000; tick++ {
 		b.Exchange(publish(2, float64(tick)))
 	}
-	if len(b.history) > 4 {
-		t.Errorf("history grew unbounded: %d entries retained", len(b.history))
+	if len(b.ring) > 4 {
+		t.Errorf("history grew unbounded: %d snapshots retained", len(b.ring))
 	}
 }

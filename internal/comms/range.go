@@ -11,6 +11,7 @@ import (
 // depends on who can hear whom.
 type RangeBus struct {
 	radius float64
+	arena  arena
 }
 
 var _ Bus = (*RangeBus)(nil)
@@ -32,19 +33,25 @@ func (b *RangeBus) Radius() float64 { return b.radius }
 // that filter neighbours by claimed distance, which is what
 // GPS-position-based neighbour tables do.
 func (b *RangeBus) Exchange(published []State) [][]State {
+	return copyRows(b.ExchangeInto(published))
+}
+
+// ExchangeInto implements Bus. The returned slices alias the bus's
+// arena and are valid until the next exchange.
+func (b *RangeBus) ExchangeInto(published []State) [][]State {
 	n := len(published)
-	out := make([][]State, n)
+	b.arena.reset(n, n*(n-1))
 	for i := 0; i < n; i++ {
-		obs := make([]State, 0, n-1)
+		mark := len(b.arena.flat)
 		for j := 0; j < n; j++ {
 			if published[j].ID == published[i].ID {
 				continue
 			}
 			if published[i].Position.Dist(published[j].Position) <= b.radius {
-				obs = append(obs, published[j])
+				b.arena.flat = append(b.arena.flat, published[j])
 			}
 		}
-		out[i] = obs
+		b.arena.seal(i, mark)
 	}
-	return out
+	return b.arena.rows
 }

@@ -168,3 +168,33 @@ func TestRunnerTable1Fast(t *testing.T) {
 		t.Error("Table II not rendered from cached grid")
 	}
 }
+
+// TestCampaignTablesUnchangedBySeedWorkers pins the end-to-end
+// determinism contract of the speculative seed search: a campaign run
+// with SeedWorkers=4 must render byte-identical result tables to the
+// sequential run — success rates, iteration averages, every cell.
+func TestCampaignTablesUnchangedBySeedWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	render := func(workers int) string {
+		cfg := fastConfig(2)
+		cfg.Fuzz.MaxIterPerSeed = 4
+		cfg.Fuzz.MaxSeeds = 3
+		cfg.Fuzz.SeedWorkers = workers
+		var sb strings.Builder
+		r := NewRunner(cfg, &sb, "")
+		if err := r.Table1(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Table2(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	seq := render(0)
+	par := render(4)
+	if seq != par {
+		t.Errorf("campaign tables differ with SeedWorkers=4:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+}

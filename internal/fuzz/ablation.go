@@ -27,9 +27,10 @@ var _ Fuzzer = RFuzz{}
 // Name implements Fuzzer.
 func (RFuzz) Name() string { return "R_Fuzz" }
 
-// Fuzz implements Fuzzer.
+// Fuzz implements Fuzzer. R_Fuzz samples its parameters from the
+// shared mission RNG, so its seed walk is inherently sequential.
 func (RFuzz) Fuzz(in Input, opts Options) (*Report, error) {
-	return fuzzWith(in, opts, RFuzz{}.Name(), randomSeeds, randomSearch, "random_search")
+	return fuzzWith(in, opts, RFuzz{}.Name(), randomSeeds, randomSearch, "random_search", false)
 }
 
 // GFuzz chooses drone pairs randomly but searches the spoofing
@@ -41,9 +42,10 @@ var _ Fuzzer = GFuzz{}
 // Name implements Fuzzer.
 func (GFuzz) Name() string { return "G_Fuzz" }
 
-// Fuzz implements Fuzzer.
+// Fuzz implements Fuzzer. The gradient search draws no randomness, so
+// G_Fuzz's seed walk may run speculatively in parallel.
 func (GFuzz) Fuzz(in Input, opts Options) (*Report, error) {
-	return fuzzWith(in, opts, GFuzz{}.Name(), randomSeeds, gradientSearch, "gradient_search")
+	return fuzzWith(in, opts, GFuzz{}.Name(), randomSeeds, gradientSearch, "gradient_search", true)
 }
 
 // SFuzz schedules drone pairs with the SVG but samples the spoofing
@@ -55,9 +57,10 @@ var _ Fuzzer = SFuzz{}
 // Name implements Fuzzer.
 func (SFuzz) Name() string { return "S_Fuzz" }
 
-// Fuzz implements Fuzzer.
+// Fuzz implements Fuzzer. S_Fuzz samples its parameters from the
+// shared mission RNG, so its seed walk is inherently sequential.
 func (SFuzz) Fuzz(in Input, opts Options) (*Report, error) {
-	return fuzzWith(in, opts, SFuzz{}.Name(), scheduledSeeds, randomSearch, "random_search")
+	return fuzzWith(in, opts, SFuzz{}.Name(), scheduledSeeds, randomSearch, "random_search", false)
 }
 
 // seedFn produces the ordered seed list for a mission.
@@ -66,7 +69,10 @@ type seedFn func(in Input, clean *cleanRun, opts Options, rec telemetry.Recorder
 // searchFn searches one seed's parameter space; it returns the
 // iterations consumed and a finding if an SPV was discovered.
 // Simulation runs are counted by sim.Run itself via the recorder.
-type searchFn func(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder) (iters int, f *Finding, err error)
+// trace (nil = none) observes every search iterate; stop (nil =
+// never) is polled between simulations so speculative searches can be
+// cancelled.
+type searchFn func(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder, trace searchTrace, stop func() bool) (iters int, f *Finding, err error)
 
 // cleanRun bundles the initial test result with the RNG used by the
 // random strategies, so randomness flows deterministically from
@@ -80,7 +86,9 @@ type cleanRun struct {
 // clean run, seed scheduling, then the per-seed parameter search. Each
 // stage is traced (clean_run, seed_scheduling, then one searchStage
 // span per seed) and the stage counters feed the campaign registry.
-func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search searchFn, searchStage string) (*Report, error) {
+// parallelizable marks search as free of shared mutable state between
+// seeds, enabling the speculative walk when Options.SeedWorkers > 1.
+func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search searchFn, searchStage string, parallelizable bool) (*Report, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,13 +131,24 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 		opts.Flight.Seeds(seeds)
 	}
 
+	if opts.SeedWorkers > 1 && parallelizable && len(seeds) > 1 {
+		return parallelSeedWalk(in, opts, search, searchStage, cr, seeds, rep, rec)
+	}
+
 	for _, seed := range seeds {
 		rep.SeedsTried++
 		span := rec.StartSpan(opts.TraceParent, searchStage,
 			telemetry.KV("target", seed.Target),
 			telemetry.KV("victim", seed.Victim),
 			telemetry.KV("direction", seed.Direction.String()))
-		iters, finding, err := search(in, seed, cr, opts, rec)
+		var trace searchTrace
+		if opts.Flight != nil {
+			seed := seed
+			trace = func(iter int, ts, dt, value float64) {
+				opts.Flight.Search(seed, iter, ts, dt, value)
+			}
+		}
+		iters, finding, err := search(in, seed, cr, opts, rec, trace, nil)
 		rep.IterationsToFind += iters
 		rec.Add(telemetry.MSearchIters, int64(iters))
 		span.End(telemetry.KV("iters", iters), telemetry.KV("found", finding != nil))
@@ -202,17 +221,22 @@ func scheduledSeeds(in Input, clean *cleanRun, opts Options, rec telemetry.Recor
 }
 
 // gradientSearch is the gradient-guided search shared with SwarmFuzz.
-func gradientSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder) (int, *Finding, error) {
-	res, finding, err := searchSeed(in, seed, clean.res, opts, rec)
+func gradientSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder, trace searchTrace, stop func() bool) (int, *Finding, error) {
+	res, finding, err := searchSeed(in, seed, clean.res, opts, rec, trace, stop)
 	return res.Iters, finding, err
 }
 
 // randomSearch samples (t_s, Δt) uniformly for up to MaxIterPerSeed
-// iterations.
-func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder) (int, *Finding, error) {
+// iterations. It draws from the shared mission stream, which is why
+// the random fuzzers are never run on the speculative walk; stop is
+// accepted for signature compatibility.
+func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder, trace searchTrace, stop func() bool) (int, *Finding, error) {
 	horizon := clean.res.Duration
 	iters := 0
 	for iter := 0; iter < opts.MaxIterPerSeed; iter++ {
+		if stop != nil && stop() {
+			return iters, nil, errSpeculationStopped
+		}
 		ts := clean.src.Uniform(0, horizon)
 		dt := clean.src.Uniform(0, math.Min(horizon-ts, 4*opts.InitDuration))
 		plan := gps.SpoofPlan{
@@ -227,8 +251,8 @@ func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec te
 		if err != nil {
 			return iters, nil, err
 		}
-		if opts.Flight != nil {
-			opts.Flight.Search(seed, iter, ts, dt, ev.objective)
+		if trace != nil {
+			trace(iter, ts, dt, ev.objective)
 		}
 		if ev.success {
 			return iters, &Finding{

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"swarmfuzz/internal/flightlog"
 	"swarmfuzz/internal/gps"
@@ -84,6 +85,17 @@ type Options struct {
 	InitDuration float64
 	// RandSeed drives the random fuzzers' sampling.
 	RandSeed uint64
+	// SeedWorkers bounds the speculative seed-search worker pool for
+	// the gradient-guided fuzzers (SwarmFuzz, G_Fuzz). 0 or 1 runs the
+	// seed walk sequentially. Higher values evaluate scheduled seeds
+	// concurrently but commit their results in schedule order, so the
+	// Report — seeds tried, first SPV, SimRuns accounting — is
+	// byte-identical to the sequential walk; it also enables parallel
+	// evaluation of the per-iteration finite-difference probes. The
+	// random-parameter fuzzers (R_Fuzz, S_Fuzz) draw their samples from
+	// one shared deterministic stream and therefore always run
+	// sequentially, whatever this is set to.
+	SeedWorkers int
 	// Telemetry receives the pipeline's counters and trace spans; nil
 	// disables recording (the hot paths then pay one no-op interface
 	// call).
@@ -131,6 +143,9 @@ func (o Options) Validate() error {
 	}
 	if o.ApproachLead < 0 {
 		return fmt.Errorf("fuzz: negative approach lead %v", o.ApproachLead)
+	}
+	if o.SeedWorkers < 0 {
+		return fmt.Errorf("fuzz: seed workers %d must be >= 0", o.SeedWorkers)
 	}
 	g := o.Grad
 	g.MaxIters = o.MaxIterPerSeed
@@ -203,8 +218,10 @@ type Fuzzer interface {
 // reportRecorder forwards to the campaign's recorder while mirroring
 // the sim_runs counter into the report. sim.Run is the only place that
 // increments sim_runs, so Report.SimRuns and the metrics snapshot are
-// fed by a single counting site and can never disagree. Fuzzing one
-// mission is sequential, so the unsynchronised mirror is safe.
+// fed by a single counting site and can never disagree. All commits
+// into a report happen on the driving goroutine — the speculative seed
+// walk buffers its workers' counters and replays them in schedule
+// order (see parallel.go) — so the unsynchronised mirror is safe.
 type reportRecorder struct {
 	telemetry.Recorder
 	rep *Report
@@ -286,18 +303,33 @@ func approachTime(m *sim.Mission, traj *sim.Trajectory, lead float64) float64 {
 	return 0
 }
 
+// searchTrace observes one search iterate of one seed; the sequential
+// walk wires it straight to the flight log's Search record, the
+// speculative walk to a replay buffer committed in schedule order.
+type searchTrace func(iter int, ts, dt, value float64)
+
+// errSpeculationStopped aborts a speculative seed search after an
+// earlier seed cracked (or errored). The outcome carrying it is
+// discarded by the committer, so it never reaches a Report.
+var errSpeculationStopped = errors.New("fuzz: speculative seed search cancelled")
+
 // searchSeed runs the gradient-guided search (step 3 of Fig. 3) for
-// one seed and reports the result.
-func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options, rec telemetry.Recorder) (opt.Result, *Finding, error) {
+// one seed and reports the result. trace (nil = none) observes every
+// counted iterate; stop (nil = never) is polled before each simulation
+// so a cancelled speculative search aborts quickly.
+func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options, rec telemetry.Recorder, trace searchTrace, stop func() bool) (opt.Result, *Finding, error) {
 	horizon := clean.Duration
 	windowEnd := approachTime(in.Mission, clean.Trajectory, opts.ApproachLead) + opts.InitLead
 	ts0 := math.Max(0, windowEnd-opts.InitDuration)
 	dt0 := opts.InitDuration
 
-	var simErr error
-	objective := func(ts, dt float64) float64 {
-		if simErr != nil {
-			return math.Inf(1)
+	// evalPoint runs one attacked simulation, recording into r. The
+	// small-positive clamp below keeps the optimizer from declaring
+	// victory on an invalid collision (e.g. drone-drone): the victim's
+	// clearance went non-positive, but not the way an SPV requires.
+	evalPoint := func(ts, dt float64, r telemetry.Recorder) (float64, error) {
+		if stop != nil && stop() {
+			return math.Inf(1), errSpeculationStopped
 		}
 		plan := gps.SpoofPlan{
 			Target:    seed.Target,
@@ -306,19 +338,86 @@ func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options, rec te
 			Direction: seed.Direction,
 			Distance:  in.SpoofDistance,
 		}
-		ev, err := evaluate(in, plan, seed.Victim, rec)
+		ev, err := evaluate(in, plan, seed.Victim, r)
+		if err != nil {
+			return math.Inf(1), err
+		}
+		if !ev.success && ev.objective <= 0 {
+			return 0.01, nil
+		}
+		return ev.objective, nil
+	}
+
+	var simErr error
+	objective := func(ts, dt float64) float64 {
+		if simErr != nil {
+			return math.Inf(1)
+		}
+		v, err := evalPoint(ts, dt, rec)
 		if err != nil {
 			simErr = err
 			return math.Inf(1)
 		}
-		if !ev.success && ev.objective <= 0 {
-			// The victim's clearance went non-positive through an
-			// invalid collision (e.g. drone-drone): report a small
-			// positive objective so the optimizer does not declare
-			// victory.
-			return 0.01
+		return v
+	}
+
+	// batch evaluates one descent iteration's candidate and probes as
+	// concurrent simulations (they are independent), then commits their
+	// values and telemetry in the sequential order with the sequential
+	// gate: probe results are consumed only if the candidate was
+	// positive and error-free, and nothing after the first error is
+	// committed. This keeps accounting identical to the lazy path.
+	var batch func(pts [][2]float64) []float64
+	if opts.SeedWorkers > 1 {
+		type pointEval struct {
+			v   float64
+			err error
+			buf *bufRecorder
 		}
-		return ev.objective
+		batch = func(pts [][2]float64) []float64 {
+			out := make([]float64, len(pts))
+			if simErr != nil {
+				for k := range out {
+					out[k] = math.Inf(1)
+				}
+				return out
+			}
+			evals := make([]pointEval, len(pts))
+			var wg sync.WaitGroup
+			for k := 1; k < len(pts); k++ {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					buf := &bufRecorder{parent: rec}
+					v, err := evalPoint(pts[k][0], pts[k][1], buf)
+					evals[k] = pointEval{v: v, err: err, buf: buf}
+				}(k)
+			}
+			buf := &bufRecorder{parent: rec}
+			v, err := evalPoint(pts[0][0], pts[0][1], buf)
+			evals[0] = pointEval{v: v, err: err, buf: buf}
+			wg.Wait()
+
+			open := true
+			for k := range evals {
+				if !open {
+					out[k] = math.Inf(1)
+					continue
+				}
+				evals[k].buf.replay(rec)
+				if evals[k].err != nil {
+					simErr = evals[k].err
+					out[k] = math.Inf(1)
+					open = false
+					continue
+				}
+				out[k] = evals[k].v
+				if k == 0 && evals[k].v <= 0 {
+					open = false
+				}
+			}
+			return out
+		}
 	}
 
 	// The landscape has flat plateaus away from the narrow collision
@@ -341,13 +440,14 @@ func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options, rec te
 		g := opts.Grad
 		g.MaxIters = budget
 		g.Horizon = horizon
-		if opts.Flight != nil {
+		g.Batch = batch
+		if trace != nil {
 			// The flight log's iterate trail numbers iterations across
 			// the whole multi-start schedule, matching the per-seed
 			// budget accounting.
 			base := acc.Iters
 			g.Trace = func(iter int, ts, dt, value float64) {
-				opts.Flight.Search(seed, base+iter, ts, dt, value)
+				trace(base+iter, ts, dt, value)
 			}
 		}
 		res, err := opt.Minimize(objective, math.Max(s[0], 0), math.Max(s[1], 0.5), g)

@@ -286,7 +286,7 @@ func TestFuzzWithPropagatesSeedErrors(t *testing.T) {
 	badSeeds := func(Input, *cleanRun, Options, telemetry.Recorder) ([]svg.Seed, error) {
 		return []svg.Seed{{Target: 99, Victim: 0, Direction: gps.Right}}, nil
 	}
-	rep, err := fuzzWith(in, opts, "BadSeedFuzz", badSeeds, gradientSearch, "gradient_search")
+	rep, err := fuzzWith(in, opts, "BadSeedFuzz", badSeeds, gradientSearch, "gradient_search", true)
 	if err == nil {
 		t.Fatal("seed-search failure swallowed")
 	}

@@ -1,0 +1,191 @@
+package fuzz
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swarmfuzz/internal/svg"
+	"swarmfuzz/internal/telemetry"
+)
+
+// Speculative-parallel seed walk.
+//
+// The sequential walk tries scheduled seeds one at a time and stops at
+// the first SPV (or error). The seeds are independent simulations, so
+// the speculative walk runs them on a bounded worker pool — but the
+// Report must stay byte-identical to the sequential one, whose
+// observable state (SeedsTried, IterationsToFind, SimRuns, the first
+// finding, the flight log's search trail, the trace's span order) is
+// defined by the walk order. The walk therefore separates *execution*
+// from *commitment*: workers record each seed's counters and search
+// trail into private buffers, and the driving goroutine commits
+// outcomes strictly in schedule order, discarding everything from
+// seeds scheduled after the first committed finding or error. Once
+// that commit point is known, later in-flight searches are cancelled
+// via the stop flag (their next simulation aborts), which is where the
+// wall-clock win comes from: seed k+1..k+W-1 ran while seed k was
+// still searching, and their speculative work is only kept when seed k
+// turned out not to crack.
+
+// recOp is one buffered telemetry mutation.
+type recOp struct {
+	kind byte // 'a' Add, 's' Set, 'o' Observe
+	name string
+	i    int64
+	f    float64
+}
+
+// bufRecorder is a telemetry.Recorder that buffers counter mutations
+// for in-order replay. Spans are not buffered: stage spans are created
+// by the committer itself, and nothing inside a seed search opens
+// spans. Now forwards to the parent so wall-time histograms keep
+// measuring real durations.
+type bufRecorder struct {
+	parent telemetry.Recorder
+	ops    []recOp
+}
+
+var _ telemetry.Recorder = (*bufRecorder)(nil)
+
+// Now implements telemetry.Recorder.
+func (b *bufRecorder) Now() time.Time { return b.parent.Now() }
+
+// StartSpan implements telemetry.Recorder; the zero Span is a valid
+// no-op span.
+func (b *bufRecorder) StartSpan(telemetry.SpanID, string, ...telemetry.Attr) telemetry.Span {
+	return telemetry.Span{}
+}
+
+// Add implements telemetry.Recorder.
+func (b *bufRecorder) Add(name string, delta int64) {
+	b.ops = append(b.ops, recOp{kind: 'a', name: name, i: delta})
+}
+
+// Set implements telemetry.Recorder.
+func (b *bufRecorder) Set(name string, v float64) {
+	b.ops = append(b.ops, recOp{kind: 's', name: name, f: v})
+}
+
+// Observe implements telemetry.Recorder.
+func (b *bufRecorder) Observe(name string, v float64) {
+	b.ops = append(b.ops, recOp{kind: 'o', name: name, f: v})
+}
+
+// replay applies the buffered mutations to rec in recording order.
+func (b *bufRecorder) replay(rec telemetry.Recorder) {
+	for _, op := range b.ops {
+		switch op.kind {
+		case 'a':
+			rec.Add(op.name, op.i)
+		case 's':
+			rec.Set(op.name, op.f)
+		case 'o':
+			rec.Observe(op.name, op.f)
+		}
+	}
+}
+
+// searchPoint is one buffered flight-log search iterate.
+type searchPoint struct {
+	iter          int
+	ts, dt, value float64
+}
+
+// seedOutcome is one worker's result for one seed, pending commitment.
+type seedOutcome struct {
+	iters   int
+	finding *Finding
+	err     error
+	rec     *bufRecorder
+	trail   []searchPoint
+}
+
+// parallelSeedWalk is the speculative counterpart of fuzzWith's
+// sequential seed loop. See the package comment above for the
+// commit-order contract.
+func parallelSeedWalk(in Input, opts Options, search searchFn, searchStage string, cr *cleanRun, seeds []svg.Seed, rep *Report, rec reportRecorder) (*Report, error) {
+	workers := opts.SeedWorkers
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+
+	var stopFlag atomic.Bool
+	stop := func() bool { return stopFlag.Load() }
+	quit := make(chan struct{})
+	idxCh := make(chan int)
+	outcomes := make([]chan seedOutcome, len(seeds))
+	for i := range outcomes {
+		outcomes[i] = make(chan seedOutcome, 1)
+	}
+
+	go func() {
+		defer close(idxCh)
+		for i := range seeds {
+			select {
+			case idxCh <- i:
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				buf := &bufRecorder{parent: rec}
+				var out seedOutcome
+				var trace searchTrace
+				if opts.Flight != nil {
+					trace = func(iter int, ts, dt, value float64) {
+						out.trail = append(out.trail, searchPoint{iter: iter, ts: ts, dt: dt, value: value})
+					}
+				}
+				out.iters, out.finding, out.err = search(in, seeds[i], cr, opts, buf, trace, stop)
+				out.rec = buf
+				outcomes[i] <- out
+			}
+		}()
+	}
+	defer func() {
+		stopFlag.Store(true)
+		close(quit)
+		wg.Wait()
+	}()
+
+	for i, seed := range seeds {
+		out := <-outcomes[i]
+		// Commit: exactly the sequential loop's mutations, in its order.
+		rep.SeedsTried++
+		span := rec.StartSpan(opts.TraceParent, searchStage,
+			telemetry.KV("target", seed.Target),
+			telemetry.KV("victim", seed.Victim),
+			telemetry.KV("direction", seed.Direction.String()))
+		out.rec.replay(rec)
+		if opts.Flight != nil {
+			for _, p := range out.trail {
+				opts.Flight.Search(seed, p.iter, p.ts, p.dt, p.value)
+			}
+		}
+		rep.IterationsToFind += out.iters
+		rec.Add(telemetry.MSearchIters, int64(out.iters))
+		span.End(telemetry.KV("iters", out.iters), telemetry.KV("found", out.finding != nil))
+		if out.err != nil {
+			rep.SeedErrors = append(rep.SeedErrors,
+				fmt.Sprintf("seed T%d-V%d: %v", seed.Target, seed.Victim, out.err))
+			return rep, fmt.Errorf("fuzz: seed T%d-V%d search failed: %w", seed.Target, seed.Victim, out.err)
+		}
+		if out.finding != nil {
+			rec.Add(telemetry.MSeedsCracked, 1)
+			rep.Found = true
+			rep.Findings = append(rep.Findings, *out.finding)
+			recordWitness(in, *out.finding, opts, rec)
+			return rep, nil
+		}
+	}
+	return rep, nil
+}

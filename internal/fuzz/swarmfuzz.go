@@ -21,7 +21,7 @@ func (SwarmFuzz) Name() string { return "SwarmFuzz" }
 
 // Fuzz implements Fuzzer.
 func (SwarmFuzz) Fuzz(in Input, opts Options) (*Report, error) {
-	return fuzzWith(in, opts, SwarmFuzz{}.Name(), scheduledSeeds, gradientSearch, "gradient_search")
+	return fuzzWith(in, opts, SwarmFuzz{}.Name(), scheduledSeeds, gradientSearch, "gradient_search", true)
 }
 
 // scheduleSeeds builds both directions' SVGs at t_clo and orders the

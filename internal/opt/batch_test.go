@@ -1,0 +1,89 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBatchMatchesSequential runs the descent with and without the
+// batched-objective hook on several synthetic objectives and requires
+// identical results and accounting: the batch path exists so callers
+// can parallelise the three independent simulations per iteration,
+// and must be observationally indistinguishable from the lazy path.
+func TestBatchMatchesSequential(t *testing.T) {
+	objectives := map[string]Objective{
+		// Smooth bowl that crosses zero: the descent finds it.
+		"bowl": func(ts, dt float64) float64 {
+			return (ts-7)*(ts-7) + (dt-3)*(dt-3) - 1
+		},
+		// Always positive: the descent exhausts its budget or stalls.
+		"positive": func(ts, dt float64) float64 {
+			return 1 + math.Abs(ts-5) + math.Abs(dt-5)
+		},
+		// Non-positive immediately: candidate gate fires on iteration 0.
+		"instant": func(ts, dt float64) float64 {
+			return -1
+		},
+		// A probe (not the candidate) finds the collision first.
+		"probe-hit": func(ts, dt float64) float64 {
+			if ts >= 2.5 {
+				return -0.5
+			}
+			return 5 - ts
+		},
+	}
+	for name, f := range objectives {
+		for _, horizon := range []float64{0, 20} {
+			opts := DefaultOptions()
+			opts.Horizon = horizon
+
+			var seqTrace, batTrace [][4]float64
+			seqOpts := opts
+			seqOpts.Trace = func(iter int, ts, dt, v float64) {
+				seqTrace = append(seqTrace, [4]float64{float64(iter), ts, dt, v})
+			}
+			seq, err := Minimize(f, 2, 4, seqOpts)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+
+			batOpts := opts
+			batOpts.Trace = func(iter int, ts, dt, v float64) {
+				batTrace = append(batTrace, [4]float64{float64(iter), ts, dt, v})
+			}
+			batCalls := 0
+			batOpts.Batch = func(pts [][2]float64) []float64 {
+				batCalls++
+				if len(pts) != 3 {
+					t.Fatalf("%s: batch got %d points, want 3", name, len(pts))
+				}
+				out := make([]float64, len(pts))
+				for i, p := range pts {
+					out[i] = f(p[0], p[1])
+				}
+				return out
+			}
+			bat, err := Minimize(f, 2, 4, batOpts)
+			if err != nil {
+				t.Fatalf("%s batched: %v", name, err)
+			}
+
+			if seq != bat {
+				t.Errorf("%s (horizon %g): sequential %+v != batched %+v", name, horizon, seq, bat)
+			}
+			if len(seqTrace) != len(batTrace) {
+				t.Fatalf("%s: trace lengths differ: %d vs %d", name, len(seqTrace), len(batTrace))
+			}
+			for i := range seqTrace {
+				if seqTrace[i] != batTrace[i] {
+					t.Errorf("%s: trace entry %d differs: %v vs %v", name, i, seqTrace[i], batTrace[i])
+				}
+			}
+			if batCalls != bat.Iters && name != "probe-hit" {
+				// One batch call per candidate iteration (probe-hit ends
+				// on a probe, which adds an extra counted iteration).
+				t.Errorf("%s: %d batch calls for %d iterations", name, batCalls, bat.Iters)
+			}
+		}
+	}
+}

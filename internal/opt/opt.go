@@ -45,6 +45,16 @@ type Options struct {
 	// terminate the search (a probe that finds the collision counts as
 	// an iteration, matching Result.Iters).
 	Trace func(iter int, ts, dt, value float64)
+	// Batch, when non-nil, evaluates a whole iteration's points at
+	// once — pts[0] is the candidate, pts[1:] the finite-difference
+	// probes — and returns one value per point, enabling the caller to
+	// run the underlying simulations in parallel. It must agree with
+	// the Objective pointwise. pts[0] is the gate: when its value is
+	// non-positive the descent terminates without consuming the probe
+	// values, so implementations that care about side-effect ordering
+	// (telemetry accounting) must apply the same gate. The returned
+	// slice is read before the next Batch call and may be reused.
+	Batch func(pts [][2]float64) []float64
 }
 
 // DefaultOptions returns the parameterisation used by SwarmFuzz: the
@@ -105,7 +115,21 @@ func Minimize(f Objective, ts0, dt0 float64, opts Options) (Result, error) {
 	res := Result{TS: ts, DT: dt, Value: math.Inf(1)}
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
-		v := f(ts, dt)
+		// One iteration needs the candidate value and — unless the
+		// candidate terminates the descent — the two forward-difference
+		// probe values. The batched path computes all three up front
+		// (they are independent simulations); the sequential path
+		// evaluates lazily. Iteration/eval accounting is identical.
+		h := opts.FDStep
+		var v, vts, vdt float64
+		batched := opts.Batch != nil
+		if batched {
+			pts := [3][2]float64{{ts, dt}, {ts + h, dt}, {ts, dt + h}}
+			vals := opts.Batch(pts[:])
+			v, vts, vdt = vals[0], vals[1], vals[2]
+		} else {
+			v = f(ts, dt)
+		}
 		res.Iters++
 		res.Evals++
 		if opts.Trace != nil {
@@ -120,9 +144,10 @@ func Minimize(f Objective, ts0, dt0 float64, opts Options) (Result, error) {
 		}
 
 		// Forward-difference gradient probes.
-		h := opts.FDStep
-		vts := f(ts+h, dt)
-		vdt := f(ts, dt+h)
+		if !batched {
+			vts = f(ts+h, dt)
+			vdt = f(ts, dt+h)
+		}
 		res.Evals += 2
 		gts := (vts - v) / h
 		gdt := (vdt - v) / h

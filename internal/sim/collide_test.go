@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/vec"
+)
+
+// randomBodies builds a swarm clustered tightly enough that collisions
+// actually occur, with a sprinkling of pre-crashed drones.
+func randomBodies(src *rng.Source, n int, spread float64) []Body {
+	bodies := make([]Body, n)
+	for i := range bodies {
+		bodies[i] = Body{
+			Pos:     vec.New(src.Uniform(-spread, spread), src.Uniform(-spread, spread), src.Uniform(-0.3, 0.3)),
+			Crashed: src.Uniform(0, 1) < 0.15,
+		}
+	}
+	return bodies
+}
+
+func cloneBodies(b []Body) []Body {
+	out := make([]Body, len(b))
+	copy(out, b)
+	return out
+}
+
+// TestCollideGridMatchesBrute is the exact-equivalence property test
+// behind the spatial hash: across many random swarms — dense and
+// sparse, small and large, with pre-crashed drones and negative
+// coordinates — the grid must produce the identical pair list (same
+// pairs, same order) and identical Crashed flags as the brute-force
+// reference scan, because pair order and intra-pass crash suppression
+// are observable simulation behaviour.
+func TestCollideGridMatchesBrute(t *testing.T) {
+	const threshold = 0.5
+	src := rng.Derive(1234, "collide-prop")
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + int(src.Uniform(0, 79))
+		// Mix densities: tight clusters force many collisions, loose
+		// ones force none.
+		spread := []float64{0.8, 2, 6, 40}[trial%4]
+		ref := randomBodies(src, n, spread)
+		grid := cloneBodies(ref)
+
+		refPairs := collideBrute(ref, threshold, nil)
+		var c droneCollider
+		gridPairs := c.collideGrid(grid, threshold, nil)
+
+		if len(refPairs) != len(gridPairs) {
+			t.Fatalf("trial %d (n=%d spread=%g): %d pairs vs %d", trial, n, spread, len(refPairs), len(gridPairs))
+		}
+		for k := range refPairs {
+			if refPairs[k] != gridPairs[k] {
+				t.Fatalf("trial %d pair %d: brute %v vs grid %v", trial, k, refPairs[k], gridPairs[k])
+			}
+		}
+		for i := range ref {
+			if ref[i].Crashed != grid[i].Crashed {
+				t.Fatalf("trial %d drone %d: brute crashed=%v grid crashed=%v", trial, i, ref[i].Crashed, grid[i].Crashed)
+			}
+		}
+	}
+}
+
+// TestCollideGridReuse verifies a collider instance reused across
+// ticks (as the Stepper does) keeps producing correct results and
+// stops allocating once warm.
+func TestCollideGridReuse(t *testing.T) {
+	src := rng.Derive(77, "collide-reuse")
+	var c droneCollider
+	var pairs [][2]int
+	for tick := 0; tick < 50; tick++ {
+		ref := randomBodies(src, 40, 1.2)
+		grid := cloneBodies(ref)
+		want := collideBrute(ref, 0.5, nil)
+		pairs = c.collideGrid(grid, 0.5, pairs[:0])
+		if fmt.Sprint(want) != fmt.Sprint(pairs) {
+			t.Fatalf("tick %d: brute %v vs grid %v", tick, want, pairs)
+		}
+	}
+	bodies := randomBodies(src, 40, 6)
+	c.collideGrid(bodies, 0.5, pairs[:0]) // warm for this n
+	allocs := testing.AllocsPerRun(20, func() {
+		pairs = c.collideGrid(bodies, 0.5, pairs[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("warm collideGrid allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestColliderSelectsGrid pins the brute/grid dispatch threshold.
+func TestColliderSelectsGrid(t *testing.T) {
+	src := rng.Derive(3, "collide-dispatch")
+	for _, n := range []int{2, collideGridMin - 1, collideGridMin, 64} {
+		ref := randomBodies(src, n, 1.0)
+		both := cloneBodies(ref)
+		want := collideBrute(ref, 0.5, nil)
+		var c droneCollider
+		got := c.collide(both, 0.5, nil)
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Fatalf("n=%d: brute %v vs collide %v", n, want, got)
+		}
+	}
+}

@@ -137,7 +137,16 @@ func (r *Result) CollisionOf(drone int) *Collision {
 
 // ObstacleCollisions returns the collisions with obstacles only.
 func (r *Result) ObstacleCollisions() []Collision {
-	var out []Collision
+	cnt := 0
+	for _, c := range r.Collisions {
+		if c.Kind == KindObstacle {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return nil
+	}
+	out := make([]Collision, 0, cnt)
 	for _, c := range r.Collisions {
 		if c.Kind == KindObstacle {
 			out = append(out, c)
@@ -175,10 +184,53 @@ type RunOptions struct {
 // errNilController is returned when RunOptions lack a controller.
 var errNilController = errors.New("sim: RunOptions.Controller is required")
 
-// Run simulates the mission and returns its Result. It is
-// deterministic: identical mission, options and spoof plan yield an
-// identical result.
-func Run(m *Mission, opts RunOptions) (res *Result, err error) {
+// Stepper simulates one mission incrementally, one integration step
+// per Step call. It owns all per-run scratch — observation arenas (via
+// the bus), GPS readings, commands, trajectory backing arrays and the
+// collision grid — so a steady-state Step performs zero heap
+// allocations. Run drives a Stepper to completion; external callers
+// (benchmarks, interactive tooling) may drive it directly.
+//
+// A Stepper is single-use and not safe for concurrent use. Slices
+// handed to the FlightRecorder and the trajectory rows alias the
+// stepper's reusable buffers per the FlightStep contract.
+type Stepper struct {
+	m       *Mission
+	cfg     MissionConfig
+	ctrl    Controller
+	bus     comms.Bus
+	spoofer *gps.Spoofer
+	flight  FlightRecorder
+
+	bodies  []Body
+	sensors []*gps.Sensor
+	res     *Result
+	traj    *Trajectory
+	// posFlat/velFlat are the flat backing arrays trajectory sample
+	// rows are sliced from, reserved once from the known sample count.
+	posFlat []vec.Vec3
+	velFlat []vec.Vec3
+
+	published []comms.State
+	readings  []gps.Reading
+	cmds      []vec.Vec3
+	collider  droneCollider
+	pairs     [][2]int
+
+	steps        int
+	budgetCapped bool
+	stepBudget   int
+	step         int
+	stepsRun     int
+	tEnd         float64
+	done         bool
+	err          error
+}
+
+// NewStepper validates opts and returns a Stepper ready to run m. It
+// performs no side effects on telemetry or flight recorders; Run adds
+// those around it.
+func NewStepper(m *Mission, opts RunOptions) (*Stepper, error) {
 	if opts.Controller == nil {
 		return nil, errNilController
 	}
@@ -199,6 +251,225 @@ func Run(m *Mission, opts RunOptions) (res *Result, err error) {
 		spoofer = gps.NewSpoofer(*opts.Spoof, m.Axis)
 	}
 
+	n := cfg.NumDrones
+	s := &Stepper{
+		m:          m,
+		cfg:        cfg,
+		ctrl:       opts.Controller,
+		bus:        bus,
+		spoofer:    spoofer,
+		flight:     opts.Flight,
+		bodies:     make([]Body, n),
+		sensors:    make([]*gps.Sensor, n),
+		published:  make([]comms.State, 0, n),
+		readings:   make([]gps.Reading, n),
+		cmds:       make([]vec.Vec3, n),
+		stepBudget: opts.StepBudget,
+		tEnd:       cfg.MaxTime,
+	}
+	for i := 0; i < n; i++ {
+		s.bodies[i] = Body{Pos: m.Start[i]}
+		s.sensors[i] = gps.NewSensor(cfg.GPSBias, cfg.GPSNoise, rng.DeriveN(cfg.Seed, "gps", i))
+	}
+
+	s.res = &Result{MinClearance: make([]float64, n)}
+	for i := range s.res.MinClearance {
+		_, d := m.World.NearestObstacle(s.bodies[i].Pos)
+		s.res.MinClearance[i] = d - cfg.DroneRadius
+	}
+	if opts.RecordTrajectory {
+		est := int(cfg.MaxTime/cfg.Dt)/cfg.SampleEvery + 2
+		s.traj = &Trajectory{
+			Times:         make([]float64, 0, est),
+			Positions:     make([][]vec.Vec3, 0, est),
+			Velocities:    make([][]vec.Vec3, 0, est),
+			MeanInterDist: make([]float64, 0, est),
+		}
+		s.posFlat = make([]vec.Vec3, 0, est*n)
+		s.velFlat = make([]vec.Vec3, 0, est*n)
+	}
+
+	s.steps = int(cfg.MaxTime / cfg.Dt)
+	if opts.StepBudget > 0 && opts.StepBudget < s.steps {
+		s.steps = opts.StepBudget
+		s.budgetCapped = true
+	}
+	return s, nil
+}
+
+// StepsRun returns the number of integration steps executed so far.
+func (s *Stepper) StepsRun() int { return s.stepsRun }
+
+// Result returns the run's Result once Step has reported done without
+// error, nil before that or after a failed run.
+func (s *Stepper) Result() *Result {
+	if !s.done || s.err != nil {
+		return nil
+	}
+	return s.res
+}
+
+// finish seals the result on a successful exit.
+func (s *Stepper) finish() {
+	s.res.Duration = s.tEnd
+	s.res.Trajectory = s.traj
+	s.done = true
+}
+
+// Step advances the simulation one tick. It returns done=true when the
+// run has ended — mission complete, time or step budget exhausted, or
+// a divergence error — and the terminal error, if any. Calling Step
+// after done re-returns the terminal state.
+func (s *Stepper) Step() (done bool, err error) {
+	if s.done {
+		return true, s.err
+	}
+	n := len(s.bodies)
+	cfg := s.cfg
+	s.stepsRun++
+	t := float64(s.step) * cfg.Dt
+
+	// (1) Sense: read GPS (with spoofing) and (2) broadcast state.
+	s.published = s.published[:0]
+	for i := 0; i < n; i++ {
+		if s.bodies[i].Crashed {
+			continue
+		}
+		s.readings[i] = s.spoofer.Apply(i, s.sensors[i].Read(s.bodies[i].Pos, t))
+		s.published = append(s.published, comms.State{
+			ID:       i,
+			Position: s.readings[i].Position,
+			Velocity: s.bodies[i].Vel,
+			Time:     t,
+		})
+	}
+	// The arena-backed exchange: observation slices alias the bus's
+	// scratch and are valid for this tick only, which is exactly the
+	// lifetime the decide pass and the FlightStep contract need.
+	observations := s.bus.ExchangeInto(s.published)
+
+	// (3)+(4) Decide: every active drone derives its command from
+	// its own perception and the received states.
+	obsIdx := 0
+	for i := 0; i < n; i++ {
+		if s.bodies[i].Crashed {
+			s.cmds[i] = vec.Zero
+			continue
+		}
+		s.cmds[i] = s.ctrl.Command(Perception{
+			ID:       i,
+			GPS:      s.readings[i],
+			Velocity: s.bodies[i].Vel,
+			Time:     t,
+		}, observations[obsIdx], &s.m.World)
+		obsIdx++
+	}
+
+	// Flight recording sits between decide and actuate, so the
+	// recorded Commands are exactly what the controllers derived
+	// from the recorded Readings and Observations. The slices
+	// alias the stepper's buffers; recorders copy what they keep.
+	if s.flight != nil && s.step%cfg.SampleEvery == 0 {
+		s.flight.RecordStep(FlightStep{
+			Step:         s.step,
+			Time:         t,
+			Bodies:       s.bodies,
+			Readings:     s.readings,
+			Commands:     s.cmds,
+			Observations: observations,
+		})
+	}
+
+	// Actuate, guarding against numerical divergence: a state that
+	// leaves the realm of finite numbers poisons every derived
+	// metric (clearances, SVG weights, gradients), so the run is
+	// aborted rather than aggregated.
+	for i := 0; i < n; i++ {
+		s.bodies[i].Step(s.cmds[i], cfg.Body, cfg.Dt)
+		if !s.bodies[i].Crashed && (!s.bodies[i].Pos.IsFinite() || !s.bodies[i].Vel.IsFinite()) {
+			s.done = true
+			s.err = fmt.Errorf("sim: drone %d state non-finite at t=%.2fs (pos %v, vel %v): %w",
+				i, t, s.bodies[i].Pos, s.bodies[i].Vel, robust.ErrDiverged)
+			return true, s.err
+		}
+	}
+
+	// Collision detection on true positions.
+	for i := 0; i < n; i++ {
+		if s.bodies[i].Crashed {
+			continue
+		}
+		oi, d := s.m.World.NearestObstacle(s.bodies[i].Pos)
+		clear := d - cfg.DroneRadius
+		if clear < s.res.MinClearance[i] {
+			s.res.MinClearance[i] = clear
+		}
+		if oi >= 0 && clear <= 0 {
+			s.bodies[i].Crashed = true
+			c := Collision{Drone: i, Kind: KindObstacle, Other: oi, Time: t, Pos: s.bodies[i].Pos}
+			s.res.Collisions = append(s.res.Collisions, c)
+			if s.flight != nil {
+				s.flight.RecordCollision(c)
+			}
+		}
+	}
+	s.pairs = s.collider.collide(s.bodies, 2*cfg.DroneRadius, s.pairs[:0])
+	for _, p := range s.pairs {
+		i, j := p[0], p[1]
+		ci := Collision{Drone: i, Kind: KindDrone, Other: j, Time: t, Pos: s.bodies[i].Pos}
+		cj := Collision{Drone: j, Kind: KindDrone, Other: i, Time: t, Pos: s.bodies[j].Pos}
+		s.res.Collisions = append(s.res.Collisions, ci, cj)
+		if s.flight != nil {
+			s.flight.RecordCollision(ci)
+			s.flight.RecordCollision(cj)
+		}
+	}
+
+	// Record: sample rows are sliced off the flat backing arrays so a
+	// full trajectory costs two allocations per run, not two per sample.
+	if s.traj != nil && s.step%cfg.SampleEvery == 0 {
+		mark := len(s.posFlat)
+		for i := 0; i < n; i++ {
+			s.posFlat = append(s.posFlat, s.bodies[i].Pos)
+			s.velFlat = append(s.velFlat, s.bodies[i].Vel)
+		}
+		s.traj.Times = append(s.traj.Times, t)
+		s.traj.Positions = append(s.traj.Positions, s.posFlat[mark:len(s.posFlat):len(s.posFlat)])
+		s.traj.Velocities = append(s.traj.Velocities, s.velFlat[mark:len(s.velFlat):len(s.velFlat)])
+		s.traj.MeanInterDist = append(s.traj.MeanInterDist, meanInterDistance(s.bodies))
+	}
+
+	// Completion: every active drone has crossed the arrival plane.
+	if allArrived(s.bodies, s.m) {
+		s.res.Completed = true
+		s.tEnd = t
+		s.finish()
+		return true, nil
+	}
+
+	s.step++
+	if s.step > s.steps {
+		if s.budgetCapped && !s.res.Completed {
+			s.done = true
+			s.err = fmt.Errorf("sim: step budget %d exhausted before completion: %w",
+				s.stepBudget, robust.ErrDiverged)
+			return true, s.err
+		}
+		s.finish()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run simulates the mission and returns its Result. It is
+// deterministic: identical mission, options and spoof plan yield an
+// identical result.
+func Run(m *Mission, opts RunOptions) (res *Result, err error) {
+	st, err := NewStepper(m, opts)
+	if err != nil {
+		return nil, err
+	}
+
 	// The flight recorder only observes runs that passed validation, and
 	// its EndFlight fires exactly once on every exit — success,
 	// divergence abort or exhausted step budget — with the same values
@@ -214,183 +485,21 @@ func Run(m *Mission, opts RunOptions) (res *Result, err error) {
 	// into Report.SimRuns, making this the single counting site.
 	rec := telemetry.OrNop(opts.Telemetry)
 	wallStart := rec.Now()
-	stepsRun := 0
 	defer func() {
 		rec.Add(telemetry.MSimRuns, 1)
-		rec.Add(telemetry.MSimSteps, int64(stepsRun))
+		rec.Add(telemetry.MSimSteps, int64(st.StepsRun()))
 		rec.Observe(telemetry.MSimWallSeconds, rec.Now().Sub(wallStart).Seconds())
 	}()
 
-	n := cfg.NumDrones
-	bodies := make([]Body, n)
-	sensors := make([]*gps.Sensor, n)
-	for i := 0; i < n; i++ {
-		bodies[i] = Body{Pos: m.Start[i]}
-		sensors[i] = gps.NewSensor(cfg.GPSBias, cfg.GPSNoise, rng.DeriveN(cfg.Seed, "gps", i))
-	}
-
-	res = &Result{MinClearance: make([]float64, n)}
-	for i := range res.MinClearance {
-		_, d := m.World.NearestObstacle(bodies[i].Pos)
-		res.MinClearance[i] = d - cfg.DroneRadius
-	}
-	var traj *Trajectory
-	if opts.RecordTrajectory {
-		est := int(cfg.MaxTime/cfg.Dt)/cfg.SampleEvery + 2
-		traj = &Trajectory{
-			Times:         make([]float64, 0, est),
-			Positions:     make([][]vec.Vec3, 0, est),
-			Velocities:    make([][]vec.Vec3, 0, est),
-			MeanInterDist: make([]float64, 0, est),
+	for {
+		done, serr := st.Step()
+		if serr != nil {
+			return nil, serr
+		}
+		if done {
+			return st.Result(), nil
 		}
 	}
-
-	published := make([]comms.State, 0, n)
-	readings := make([]gps.Reading, n)
-	cmds := make([]vec.Vec3, n)
-	steps := int(cfg.MaxTime / cfg.Dt)
-	budgetCapped := false
-	if opts.StepBudget > 0 && opts.StepBudget < steps {
-		steps = opts.StepBudget
-		budgetCapped = true
-	}
-	tEnd := cfg.MaxTime
-
-	for step := 0; step <= steps; step++ {
-		stepsRun++
-		t := float64(step) * cfg.Dt
-
-		// (1) Sense: read GPS (with spoofing) and (2) broadcast state.
-		published = published[:0]
-		for i := 0; i < n; i++ {
-			if bodies[i].Crashed {
-				continue
-			}
-			readings[i] = spoofer.Apply(i, sensors[i].Read(bodies[i].Pos, t))
-			published = append(published, comms.State{
-				ID:       i,
-				Position: readings[i].Position,
-				Velocity: bodies[i].Vel,
-				Time:     t,
-			})
-		}
-		observations := bus.Exchange(published)
-
-		// (3)+(4) Decide: every active drone derives its command from
-		// its own perception and the received states.
-		obsIdx := 0
-		for i := 0; i < n; i++ {
-			if bodies[i].Crashed {
-				cmds[i] = vec.Zero
-				continue
-			}
-			cmds[i] = opts.Controller.Command(Perception{
-				ID:       i,
-				GPS:      readings[i],
-				Velocity: bodies[i].Vel,
-				Time:     t,
-			}, observations[obsIdx], &m.World)
-			obsIdx++
-		}
-
-		// Flight recording sits between decide and actuate, so the
-		// recorded Commands are exactly what the controllers derived
-		// from the recorded Readings and Observations. The slices
-		// alias the loop's buffers; recorders copy what they keep.
-		if opts.Flight != nil && step%cfg.SampleEvery == 0 {
-			opts.Flight.RecordStep(FlightStep{
-				Step:         step,
-				Time:         t,
-				Bodies:       bodies,
-				Readings:     readings,
-				Commands:     cmds,
-				Observations: observations,
-			})
-		}
-
-		// Actuate, guarding against numerical divergence: a state that
-		// leaves the realm of finite numbers poisons every derived
-		// metric (clearances, SVG weights, gradients), so the run is
-		// aborted rather than aggregated.
-		for i := 0; i < n; i++ {
-			bodies[i].Step(cmds[i], cfg.Body, cfg.Dt)
-			if !bodies[i].Crashed && (!bodies[i].Pos.IsFinite() || !bodies[i].Vel.IsFinite()) {
-				return nil, fmt.Errorf("sim: drone %d state non-finite at t=%.2fs (pos %v, vel %v): %w",
-					i, t, bodies[i].Pos, bodies[i].Vel, robust.ErrDiverged)
-			}
-		}
-
-		// Collision detection on true positions.
-		for i := 0; i < n; i++ {
-			if bodies[i].Crashed {
-				continue
-			}
-			oi, d := m.World.NearestObstacle(bodies[i].Pos)
-			clear := d - cfg.DroneRadius
-			if clear < res.MinClearance[i] {
-				res.MinClearance[i] = clear
-			}
-			if oi >= 0 && clear <= 0 {
-				bodies[i].Crashed = true
-				c := Collision{Drone: i, Kind: KindObstacle, Other: oi, Time: t, Pos: bodies[i].Pos}
-				res.Collisions = append(res.Collisions, c)
-				if opts.Flight != nil {
-					opts.Flight.RecordCollision(c)
-				}
-			}
-		}
-		for i := 0; i < n; i++ {
-			if bodies[i].Crashed {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if bodies[j].Crashed {
-					continue
-				}
-				if bodies[i].Pos.Dist(bodies[j].Pos) <= 2*cfg.DroneRadius {
-					bodies[i].Crashed = true
-					bodies[j].Crashed = true
-					ci := Collision{Drone: i, Kind: KindDrone, Other: j, Time: t, Pos: bodies[i].Pos}
-					cj := Collision{Drone: j, Kind: KindDrone, Other: i, Time: t, Pos: bodies[j].Pos}
-					res.Collisions = append(res.Collisions, ci, cj)
-					if opts.Flight != nil {
-						opts.Flight.RecordCollision(ci)
-						opts.Flight.RecordCollision(cj)
-					}
-					break
-				}
-			}
-		}
-
-		// Record.
-		if traj != nil && step%cfg.SampleEvery == 0 {
-			pos := make([]vec.Vec3, n)
-			vel := make([]vec.Vec3, n)
-			for i := range pos {
-				pos[i] = bodies[i].Pos
-				vel[i] = bodies[i].Vel
-			}
-			traj.Times = append(traj.Times, t)
-			traj.Positions = append(traj.Positions, pos)
-			traj.Velocities = append(traj.Velocities, vel)
-			traj.MeanInterDist = append(traj.MeanInterDist, meanInterDistance(bodies))
-		}
-
-		// Completion: every active drone has crossed the arrival plane.
-		if allArrived(bodies, m) {
-			res.Completed = true
-			tEnd = t
-			break
-		}
-	}
-
-	if budgetCapped && !res.Completed {
-		return nil, fmt.Errorf("sim: step budget %d exhausted before completion: %w",
-			opts.StepBudget, robust.ErrDiverged)
-	}
-	res.Duration = tEnd
-	res.Trajectory = traj
-	return res, nil
 }
 
 // allArrived reports whether every active drone has crossed the

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 // Flags bundles the observability flags shared by the pipeline's
@@ -17,6 +19,12 @@ type Flags struct {
 	Metrics string
 	// Pprof is the debug server listen address ("" disables it).
 	Pprof string
+	// CPUProfile is a pprof CPU profile output path, recording from
+	// Start to Close ("" disables it).
+	CPUProfile string
+	// MemProfile is a pprof heap profile output path, written on Close
+	// after a forced GC ("" disables it).
+	MemProfile string
 	// Verbose and Quiet adjust the log level from the default info.
 	Verbose, Quiet bool
 }
@@ -27,6 +35,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Trace, "trace", "", "write a JSONL span trace to this `file`")
 	fs.StringVar(&f.Metrics, "metrics", "", "write a JSON metrics snapshot to this `file` on exit")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and /metrics on this `addr` (e.g. localhost:6060)")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the whole run to this `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this `file` on exit")
 	fs.BoolVar(&f.Verbose, "v", false, "verbose logging (debug level)")
 	fs.BoolVar(&f.Quiet, "quiet", false, "log only errors")
 	return f
@@ -55,7 +65,9 @@ type Session struct {
 	Log *Logger
 
 	metricsPath string
+	memPath     string
 	traceFile   *os.File
+	cpuFile     *os.File
 	srv         *http.Server
 }
 
@@ -63,7 +75,7 @@ type Session struct {
 // and starts the debug server as requested, and returns the session.
 func (f *Flags) Start(log *Logger) (*Session, error) {
 	log.SetLevel(f.LogLevel())
-	s := &Session{Log: log, metricsPath: f.Metrics}
+	s := &Session{Log: log, metricsPath: f.Metrics, memPath: f.MemProfile}
 	var trace io.Writer
 	if f.Trace != "" {
 		file, err := os.Create(f.Trace)
@@ -73,13 +85,24 @@ func (f *Flags) Start(log *Logger) (*Session, error) {
 		s.traceFile = file
 		trace = file
 	}
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			s.release()
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			_ = file.Close()
+			s.release()
+			return nil, err
+		}
+		s.cpuFile = file
+	}
 	s.Rec = New(NewRegistry(), trace)
 	if f.Pprof != "" {
 		srv, addr, err := ServeDebug(f.Pprof, s.Rec.Registry())
 		if err != nil {
-			if s.traceFile != nil {
-				_ = s.traceFile.Close()
-			}
+			s.release()
 			return nil, err
 		}
 		s.srv = srv
@@ -88,12 +111,49 @@ func (f *Flags) Start(log *Logger) (*Session, error) {
 	return s, nil
 }
 
-// Close stops the debug server, writes the metrics snapshot and closes
-// the trace file, returning the first error encountered.
+// release undoes a partial Start so its error paths leak nothing.
+func (s *Session) release() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		_ = s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		_ = s.traceFile.Close()
+		s.traceFile = nil
+	}
+}
+
+// Close stops the debug server, finishes the CPU profile, writes the
+// heap profile and metrics snapshot, and closes the trace file,
+// returning the first error encountered.
 func (s *Session) Close() error {
 	var first error
 	if s.srv != nil {
 		_ = s.srv.Close()
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			first = err
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
 	}
 	if s.metricsPath != "" {
 		f, err := os.Create(s.metricsPath)

@@ -93,11 +93,11 @@ type Recorder interface {
 // nop discards everything.
 type nop struct{}
 
-func (nop) Now() time.Time                       { return time.Time{} }
+func (nop) Now() time.Time                         { return time.Time{} }
 func (nop) StartSpan(SpanID, string, ...Attr) Span { return Span{} }
-func (nop) Add(string, int64)                    {}
-func (nop) Set(string, float64)                  {}
-func (nop) Observe(string, float64)              {}
+func (nop) Add(string, int64)                      {}
+func (nop) Set(string, float64)                    {}
+func (nop) Observe(string, float64)                {}
 
 // Nop is the no-op Recorder.
 var Nop Recorder = nop{}

@@ -1,0 +1,94 @@
+// Command benchcompare diffs two BENCH_hotpath.json files (as written
+// by `make bench`) and fails when any ns_per_step / ns_per_walk figure
+// regressed by more than the allowed fraction, or when a baseline key
+// disappeared. It is the CI gate behind `make bench-compare`: the
+// committed baseline pins the hot path's cost, so a fresh run that is
+// >20% slower per step fails loudly instead of rotting silently.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func load(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := map[string]map[string]float64{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func run() error {
+	oldPath := flag.String("old", "BENCH_hotpath.json", "committed baseline `file`")
+	newPath := flag.String("new", "", "freshly measured `file` to compare against the baseline")
+	maxReg := flag.Float64("max-regression", 0.20, "largest tolerated fractional slowdown per metric")
+	flag.Parse()
+	if *newPath == "" {
+		return fmt.Errorf("benchcompare: -new is required")
+	}
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(oldDoc))
+	for k := range oldDoc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var failures []string
+	for _, key := range keys {
+		newMetrics, ok := newDoc[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from new run", key))
+			continue
+		}
+		for metric, oldVal := range oldDoc[key] {
+			// Only wall-time metrics gate; alloc figures are asserted
+			// exactly by the test suite.
+			if !strings.HasPrefix(metric, "ns_") {
+				continue
+			}
+			newVal, ok := newMetrics[metric]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s.%s: missing from new run", key, metric))
+				continue
+			}
+			ratio := newVal/oldVal - 1
+			status := "ok"
+			if ratio > *maxReg {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s.%s: %.0f -> %.0f (%+.1f%%)",
+					key, metric, oldVal, newVal, 100*ratio))
+			}
+			fmt.Printf("%-32s %-12s %12.0f %12.0f %+7.1f%%  %s\n",
+				key, metric, oldVal, newVal, 100*ratio, status)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchcompare: %d regression(s) beyond %.0f%%:\n  %s",
+			len(failures), 100**maxReg, strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
