@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench bench-compare
+.PHONY: build vet test race check serve-smoke bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,15 @@ race:
 	$(GO) test -race ./...
 
 # check is the CI gate: vet plus the full test suite under the race
-# detector (the campaign engine's worker pool must stay race-clean).
+# detector (the campaign engine's worker pool and the serving daemon's
+# job queue must stay race-clean; `race` covers internal/serve too).
 check: build vet race
+
+# serve-smoke boots a real swarmfuzzd on an ephemeral port, submits a
+# tiny fuzz job through the CLI client, and asserts it finishes with a
+# persisted report — the daemon/store/API/client end-to-end proof.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # bench smoke-runs every benchmark once and leaves two records behind:
 # BENCH_telemetry.json holds the telemetry pipeline's throughput

@@ -86,7 +86,7 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 		return err
 	}
 
-	fuzzer, err := fuzzerByName(*name)
+	fuzzer, err := fuzz.ByName(*name)
 	if err != nil {
 		return err
 	}
@@ -178,19 +178,4 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 		fmt.Printf("FOUND %s\n", f)
 	}
 	return nil
-}
-
-func fuzzerByName(name string) (fuzz.Fuzzer, error) {
-	switch strings.ToLower(name) {
-	case "swarmfuzz":
-		return fuzz.SwarmFuzz{}, nil
-	case "r_fuzz", "rfuzz":
-		return fuzz.RFuzz{}, nil
-	case "g_fuzz", "gfuzz":
-		return fuzz.GFuzz{}, nil
-	case "s_fuzz", "sfuzz":
-		return fuzz.SFuzz{}, nil
-	default:
-		return nil, fmt.Errorf("unknown fuzzer %q", name)
-	}
 }

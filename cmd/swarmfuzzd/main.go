@@ -1,0 +1,341 @@
+// Command swarmfuzzd is the fuzzing-as-a-service daemon: it accepts
+// SwarmFuzz jobs (single-mission fuzz runs, campaign cells, full
+// experiment grids) over HTTP, runs them on a bounded worker pool and
+// persists specs, statuses and reports to a disk-backed store that
+// survives restarts. The same binary doubles as the client.
+//
+// Usage:
+//
+//	swarmfuzzd serve  -addr 127.0.0.1:7077 -store ./swarmfuzzd-data -workers 4
+//	swarmfuzzd submit -addr 127.0.0.1:7077 -kind fuzz -n 5 -seed 3 -dist 10 -wait
+//	swarmfuzzd submit -addr 127.0.0.1:7077 -kind campaign -n 5 -dist 10 -missions 50
+//	swarmfuzzd status -addr 127.0.0.1:7077 [job-id]
+//	swarmfuzzd wait   -addr 127.0.0.1:7077 job-id
+//	swarmfuzzd cancel -addr 127.0.0.1:7077 job-id
+//
+// The daemon serves the job API, /healthz, /readyz and the shared
+// telemetry endpoints (/metrics, /metrics.json, /debug/pprof/) on one
+// listener. The first SIGINT/SIGTERM drains gracefully: intake stops
+// (readyz turns 503), in-flight jobs get -drain to finish, stragglers
+// are cancelled back into the queue, and everything still queued
+// resumes when the daemon restarts on the same store. A second signal
+// kills the process.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swarmfuzz/internal/serve"
+	"swarmfuzz/internal/serve/client"
+	"swarmfuzz/internal/telemetry"
+)
+
+func main() {
+	log := telemetry.NewLogger(os.Stderr, telemetry.LevelInfo)
+	ctx, stop := withInterrupt(context.Background(), log)
+	defer stop()
+
+	args := os.Args[1:]
+	cmd := "serve"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "serve":
+		err = runServe(ctx, args, log)
+	case "submit":
+		err = runSubmit(ctx, args, log)
+	case "status":
+		err = runStatus(ctx, args)
+	case "wait":
+		err = runWait(ctx, args)
+	case "cancel":
+		err = runCancel(ctx, args)
+	case "help", "-h", "--help":
+		fmt.Println("usage: swarmfuzzd serve|submit|status|wait|cancel [flags]")
+		return
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want serve|submit|status|wait|cancel)", cmd)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Errorf("swarmfuzzd: interrupted")
+			os.Exit(130)
+		}
+		log.Errorf("swarmfuzzd: %v", err)
+		os.Exit(1)
+	}
+}
+
+// withInterrupt returns a context cancelled by the first SIGINT or
+// SIGTERM; a second signal terminates the process immediately.
+func withInterrupt(parent context.Context, log *telemetry.Logger) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		log.Warnf("interrupt: draining gracefully — ^C again to kill")
+		cancel()
+		<-ch
+		os.Exit(130)
+	}()
+	return ctx, func() { signal.Stop(ch); cancel() }
+}
+
+// runServe is the daemon proper.
+func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err error) {
+	fs := flag.NewFlagSet("swarmfuzzd serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this `file` once listening")
+		store    = fs.String("store", "./swarmfuzzd-data", "job store directory")
+		workers  = fs.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		backlog  = fs.Int("backlog", 64, "max queued jobs before submits get 429")
+		drain    = fs.Duration("drain", 30*time.Second, "grace given to in-flight jobs on shutdown before they are cancelled back into the queue")
+	)
+	tf := telemetry.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tel, err := tf.Start(log)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	engine, err := serve.NewEngine(serve.Options{
+		Store:     *store,
+		Workers:   *workers,
+		Backlog:   *backlog,
+		Telemetry: tel.Rec,
+		Log:       log,
+	})
+	if err != nil {
+		return err
+	}
+	handler := serve.NewServer(engine, tel.Rec.Registry())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	log.Infof("swarmfuzzd listening on http://%s (store %s)", bound, *store)
+
+	// The engine runs under the background context: interrupt-driven
+	// shutdown goes through Drain so in-flight jobs keep their grace
+	// period instead of being cancelled outright.
+	engine.Start(context.Background())
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Infof("draining: intake closed, giving in-flight jobs %v", *drain)
+	engine.Drain(*drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutdownCtx)
+	log.Infof("swarmfuzzd stopped; queued jobs resume on next start")
+	return nil
+}
+
+// runSubmit builds a JobSpec from flags and submits it.
+func runSubmit(ctx context.Context, args []string, log *telemetry.Logger) error {
+	fs := flag.NewFlagSet("swarmfuzzd submit", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7077", "daemon address")
+		kind    = fs.String("kind", "fuzz", "job kind: fuzz|campaign|grid")
+		fuzzer  = fs.String("fuzzer", "swarmfuzz", "fuzzer: swarmfuzz|r_fuzz|g_fuzz|s_fuzz")
+		n       = fs.Int("n", 5, "swarm size (fuzz/campaign)")
+		seed    = fs.Uint64("seed", 1, "mission seed (fuzz)")
+		dist    = fs.Float64("dist", 10, "GPS spoofing deviation d in metres (fuzz/campaign)")
+		miss    = fs.Int("missions", 30, "missions per cell (campaign/grid)")
+		base    = fs.Uint64("base-seed", 1, "base mission seed (campaign/grid)")
+		iters   = fs.Int("iters", 0, "max search iterations per seed (0 = default)")
+		maxs    = fs.Int("max-seeds", 0, "max seeds per mission (0 = all)")
+		sworker = fs.Int("seed-workers", 0, "speculative seed-search workers")
+		workers = fs.Int("workers", 0, "campaign mission parallelism (0 = GOMAXPROCS)")
+		timeout = fs.Duration("timeout", 0, "per-mission fuzzing deadline (0 = none)")
+		retries = fs.Int("retries", 0, "extra attempts for transiently-failed missions (0 = default policy)")
+		flight  = fs.Bool("flightlog", false, "archive flight logs under the job's store directory")
+		postmor = fs.Bool("postmortem", false, "render HTML post-mortems next to the flight logs")
+		wait    = fs.Bool("wait", false, "stream progress and wait for the job to settle")
+		report  = fs.Bool("report", false, "with -wait: print the finished job's report.json to stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := serve.JobSpec{
+		Kind:              *kind,
+		Fuzzer:            *fuzzer,
+		SwarmSize:         *n,
+		Seed:              *seed,
+		SpoofDistance:     *dist,
+		Missions:          *miss,
+		BaseSeed:          *base,
+		MaxIterPerSeed:    *iters,
+		MaxSeeds:          *maxs,
+		SeedWorkers:       *sworker,
+		Workers:           *workers,
+		MissionTimeoutSec: timeout.Seconds(),
+		Retries:           *retries,
+		Flightlog:         *flight,
+		Postmortem:        *postmor,
+	}
+	if spec.Kind == serve.KindGrid {
+		spec.SwarmSize, spec.SpoofDistance = 0, 0
+	}
+	c := client.New(*addr)
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	log.Infof("submitted %s (%s/%s)", st.ID, st.Kind, st.Fuzzer)
+	if !*wait {
+		fmt.Println(st.ID)
+		return nil
+	}
+	final, err := waitAndLog(ctx, c, st.ID, log)
+	if err != nil {
+		return err
+	}
+	if *report && final.State == serve.StateDone {
+		data, err := c.Report(ctx, st.ID)
+		if err != nil {
+			return err
+		}
+		_, _ = os.Stdout.Write(data)
+		return nil
+	}
+	return printStatus(final)
+}
+
+// waitAndLog follows the job's events, logging progress to stderr, and
+// returns the final status.
+func waitAndLog(ctx context.Context, c *client.Client, id string, log *telemetry.Logger) (serve.JobStatus, error) {
+	_ = c.Events(ctx, id, func(e serve.Event) error {
+		switch e.Type {
+		case "state":
+			log.Infof("job %s: %s", id, e.State)
+		case "progress":
+			log.Debugf("job %s: progress %v", id, e.Counters)
+		}
+		return nil
+	})
+	if ctx.Err() != nil {
+		return serve.JobStatus{}, ctx.Err()
+	}
+	return c.Wait(ctx, id)
+}
+
+// printStatus renders a status as JSON on stdout and sets the exit
+// code via error for non-done terminal states.
+func printStatus(st serve.JobStatus) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	switch st.State {
+	case serve.StateFailed:
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	case serve.StateCancelled:
+		return fmt.Errorf("job %s was cancelled", st.ID)
+	}
+	return nil
+}
+
+func runStatus(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("swarmfuzzd status", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := client.New(*addr)
+	if id := fs.Arg(0); id != "" {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	jobs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	for _, st := range jobs {
+		line := fmt.Sprintf("%s  %-9s %s/%s", st.ID, st.State, st.Kind, st.Fuzzer)
+		if st.Error != "" {
+			line += "  " + st.Error
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func runWait(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("swarmfuzzd wait", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return errors.New("wait: need a job id")
+	}
+	st, err := client.New(*addr).Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	return printStatus(st)
+}
+
+func runCancel(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("swarmfuzzd cancel", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return errors.New("cancel: need a job id")
+	}
+	st, err := client.New(*addr).Cancel(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s\n", st.ID, st.State)
+	return nil
+}

@@ -1,0 +1,26 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ByName returns the built-in fuzzer with the given name, accepting
+// both the paper's spelling (r_fuzz) and the compact one (rfuzz),
+// case-insensitively. Every entry point that lets users pick a fuzzer
+// — the CLIs and the serving daemon — resolves through here so they
+// agree on the spelling.
+func ByName(name string) (Fuzzer, error) {
+	switch strings.ToLower(name) {
+	case "swarmfuzz":
+		return SwarmFuzz{}, nil
+	case "r_fuzz", "rfuzz":
+		return RFuzz{}, nil
+	case "g_fuzz", "gfuzz":
+		return GFuzz{}, nil
+	case "s_fuzz", "sfuzz":
+		return SFuzz{}, nil
+	default:
+		return nil, fmt.Errorf("fuzz: unknown fuzzer %q (want swarmfuzz|r_fuzz|g_fuzz|s_fuzz)", name)
+	}
+}

@@ -1,0 +1,685 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"swarmfuzz/internal/experiments"
+	"swarmfuzz/internal/flightlog"
+	flreport "swarmfuzz/internal/flightlog/report"
+	"swarmfuzz/internal/flock"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/robust"
+	"swarmfuzz/internal/sim"
+	"swarmfuzz/internal/telemetry"
+)
+
+// Daemon metric names, exposed on /metrics next to the campaign
+// counters.
+const (
+	// MQueueDepth gauges the number of jobs waiting in the FIFO queue.
+	MQueueDepth = "serve_queue_depth"
+	// Per-state job gauges.
+	MJobsQueued    = "serve_jobs_queued"
+	MJobsRunning   = "serve_jobs_running"
+	MJobsDone      = "serve_jobs_done"
+	MJobsFailed    = "serve_jobs_failed"
+	MJobsCancelled = "serve_jobs_cancelled"
+	// MJobWallSeconds is the per-job wall-time histogram.
+	MJobWallSeconds = "serve_job_wall_seconds"
+)
+
+// Errors the engine maps to HTTP statuses.
+var (
+	// ErrBacklogFull rejects a submit when the queue is at capacity
+	// (HTTP 429).
+	ErrBacklogFull = errors.New("serve: job backlog full")
+	// ErrDraining rejects a submit while the engine drains (HTTP 503).
+	ErrDraining = errors.New("serve: daemon is draining")
+	// ErrNotFound reports an unknown job id (HTTP 404).
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrConflict reports an operation invalid in the job's current
+	// state, e.g. cancelling a finished job (HTTP 409).
+	ErrConflict = errors.New("serve: job state conflict")
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Store is the disk store directory (required).
+	Store string
+	// Workers bounds concurrent job execution; 0 means GOMAXPROCS.
+	Workers int
+	// Backlog bounds the number of queued jobs; a submit beyond it is
+	// rejected with ErrBacklogFull. 0 means 64.
+	Backlog int
+	// JobAttempts bounds executions per job, counting re-queues after
+	// transient failures (daemon restarts don't count). 0 means 2.
+	JobAttempts int
+	// Fuzzers maps spec fuzzer names to implementations; nil means the
+	// built-in registry (fuzz.ByName). Tests inject stubs here.
+	Fuzzers map[string]fuzz.Fuzzer
+	// Flock carries the swarm-control parameters jobs run under; the
+	// zero value means flock.DefaultParams.
+	Flock *flock.Params
+	// Telemetry receives engine gauges and every job's pipeline
+	// counters; nil disables recording.
+	Telemetry telemetry.Recorder
+	// Log receives the engine's progress lines; nil is silent.
+	Log *telemetry.Logger
+}
+
+// job is the engine's in-memory view of one job. All fields are
+// guarded by the engine mutex except hub, which locks itself.
+type job struct {
+	spec      JobSpec
+	status    JobStatus
+	hub       *hub
+	cancel    context.CancelFunc // non-nil while running
+	cancelled bool               // DELETE requested
+}
+
+// Engine owns the job queue, the worker pool and the store. Create it
+// with NewEngine, start the workers with Start, and stop it with Drain
+// (graceful) — jobs still queued or cancelled-by-drain resume when a
+// new engine opens the same store.
+type Engine struct {
+	opts  Options
+	store *Store
+	log   *telemetry.Logger
+	rec   telemetry.Recorder
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []string
+	jobs     map[string]*job
+	nextID   int
+	draining bool
+	started  bool
+	wg       sync.WaitGroup
+}
+
+// NewEngine opens the store, reloads every persisted job — re-queuing
+// those that were queued or running when the previous daemon died —
+// and returns an engine ready to Start.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Backlog <= 0 {
+		opts.Backlog = 64
+	}
+	if opts.JobAttempts <= 0 {
+		opts.JobAttempts = 2
+	}
+	store, err := OpenStore(opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:  opts,
+		store: store,
+		log:   opts.Log,
+		rec:   telemetry.OrNop(opts.Telemetry),
+		jobs:  map[string]*job{},
+	}
+	e.cond = sync.NewCond(&e.mu)
+	if err := e.reload(); err != nil {
+		return nil, err
+	}
+	e.updateMetrics()
+	return e, nil
+}
+
+// reload restores the engine's state from the store.
+func (e *Engine) reload() error {
+	ids, err := e.store.List()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		spec, err := e.store.ReadSpec(id)
+		if err != nil {
+			return err
+		}
+		st, err := e.store.ReadStatus(id)
+		if err != nil {
+			return err
+		}
+		events, err := e.store.ReadEvents(id)
+		if err != nil {
+			return fmt.Errorf("serve: read events %s: %w", id, err)
+		}
+		base := 0
+		if n := len(events); n > 0 {
+			base = events[n-1].Seq
+		}
+		h := newHub(id, base, e.store, e.log)
+		j := &job{spec: spec, status: st, hub: h}
+		switch st.State {
+		case StateQueued:
+			e.queue = append(e.queue, id)
+		case StateRunning:
+			// The previous daemon died mid-job: back to the queue. The
+			// job's checkpoints survive, so a campaign resumes from its
+			// finished cells instead of re-fuzzing them.
+			j.status.State = StateQueued
+			j.status.Restarts++
+			if err := e.store.WriteStatus(j.status); err != nil {
+				return err
+			}
+			h.publish("state", func(ev *Event) { ev.State = StateQueued })
+			e.queue = append(e.queue, id)
+			e.log.Infof("job %s: interrupted by restart, re-queued (restart %d)", id, j.status.Restarts)
+		default:
+			h.close()
+		}
+		e.jobs[id] = j
+		if n, ok := parseID(id); ok && n >= e.nextID {
+			e.nextID = n + 1
+		}
+	}
+	if len(e.queue) > 0 {
+		e.log.Infof("store %s: %d job(s) re-queued", e.store.Dir(), len(e.queue))
+	}
+	return nil
+}
+
+// Start launches the worker pool. ctx cancellation force-stops the
+// engine (running jobs are cancelled and re-queued); prefer Drain for
+// a graceful stop.
+func (e *Engine) Start(ctx context.Context) {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.baseCtx, e.baseCancel = context.WithCancel(ctx)
+	e.mu.Unlock()
+	go func() {
+		<-e.baseCtx.Done()
+		e.mu.Lock()
+		e.draining = true
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}()
+	for range e.opts.Workers {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	e.log.Infof("engine started: %d workers, backlog %d, store %s",
+		e.opts.Workers, e.opts.Backlog, e.store.Dir())
+}
+
+// Draining reports whether the engine has stopped accepting jobs.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// Drain gracefully stops the engine: intake closes immediately, then
+// in-flight jobs get grace to finish; those still running afterwards
+// are cancelled, which re-queues them (their campaign checkpoints make
+// the eventual resume cheap). Drain returns when every worker has
+// exited. Queued jobs stay queued in the store for the next start.
+func (e *Engine) Drain(grace time.Duration) {
+	e.mu.Lock()
+	e.draining = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { e.wg.Wait(); close(done) }()
+	if grace > 0 {
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+	e.mu.Lock()
+	for id, j := range e.jobs {
+		if j.cancel != nil {
+			e.log.Warnf("job %s: drain grace expired, cancelling", id)
+			j.cancel()
+		}
+	}
+	e.mu.Unlock()
+	<-done
+}
+
+// Submit validates, persists and enqueues a job, returning its status.
+func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
+	spec.Normalize()
+	if err := spec.Validate(e.resolveFuzzer); err != nil {
+		return JobStatus{}, err
+	}
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	if len(e.queue) >= e.opts.Backlog {
+		e.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w (%d queued)", ErrBacklogFull, len(e.queue))
+	}
+	id := FormatID(e.nextID)
+	e.nextID++
+	st := JobStatus{
+		ID: id, Kind: spec.Kind, Fuzzer: spec.Fuzzer,
+		State: StateQueued, CreatedUnix: time.Now().Unix(),
+	}
+	if err := e.store.WriteSpec(id, spec); err != nil {
+		e.mu.Unlock()
+		return JobStatus{}, err
+	}
+	if err := e.store.WriteStatus(st); err != nil {
+		e.mu.Unlock()
+		return JobStatus{}, err
+	}
+	j := &job{spec: spec, status: st, hub: newHub(id, 0, e.store, e.log)}
+	e.jobs[id] = j
+	e.queue = append(e.queue, id)
+	e.cond.Signal()
+	e.updateMetricsLocked()
+	e.mu.Unlock()
+	j.hub.publish("state", func(ev *Event) { ev.State = StateQueued })
+	e.log.Infof("job %s: %s/%s queued", id, spec.Kind, spec.Fuzzer)
+	return st, nil
+}
+
+// Get returns the job's current status.
+func (e *Engine) Get(id string) (JobStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return j.status, nil
+}
+
+// Spec returns the job's submitted spec.
+func (e *Engine) Spec(id string) (JobSpec, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobSpec{}, ErrNotFound
+	}
+	return j.spec, nil
+}
+
+// Jobs returns every job's status in submission order.
+func (e *Engine) Jobs() []JobStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]JobStatus, 0, len(e.jobs))
+	for n := range e.nextID {
+		if j, ok := e.jobs[FormatID(n)]; ok {
+			out = append(out, j.status)
+		}
+	}
+	return out
+}
+
+// Report returns the job's persisted report bytes. ErrConflict means
+// the job has not (or not successfully) finished.
+func (e *Engine) Report(id string) ([]byte, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if j.status.State != StateDone {
+		st := j.status.State
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: job is %s, report exists once done", ErrConflict, st)
+	}
+	e.mu.Unlock()
+	return e.store.ReadReport(id)
+}
+
+// Cancel stops a queued or running job. Cancelling a queued job
+// settles it immediately; a running one is interrupted and settles
+// when its worker observes the cancellation.
+func (e *Engine) Cancel(id string) (JobStatus, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	switch j.status.State {
+	case StateQueued:
+		j.cancelled = true
+		j.status.State = StateCancelled
+		j.status.FinishedUnix = time.Now().Unix()
+		st := j.status
+		if err := e.store.WriteStatus(st); err != nil {
+			e.mu.Unlock()
+			return JobStatus{}, err
+		}
+		e.updateMetricsLocked()
+		e.mu.Unlock()
+		j.hub.publish("state", func(ev *Event) { ev.State = StateCancelled })
+		j.hub.close()
+		e.log.Infof("job %s: cancelled while queued", id)
+		return st, nil
+	case StateRunning:
+		j.cancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		st := j.status
+		e.mu.Unlock()
+		e.log.Infof("job %s: cancellation requested", id)
+		return st, nil
+	default:
+		st := j.status.State
+		e.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: job already %s", ErrConflict, st)
+	}
+}
+
+// Subscribe returns the job's full event history so far (persisted and
+// in-process, deduplicated by seq) plus a live channel (nil when the
+// stream has ended) and an unsubscribe func.
+func (e *Engine) Subscribe(id string) ([]Event, chan Event, func(), error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, ErrNotFound
+	}
+	// Subscribe before reading the file so no event can fall between
+	// the two; the seq dedupe below drops the overlap.
+	history, live, cancel := j.hub.subscribe()
+	persisted, err := e.store.ReadEvents(id)
+	if err != nil {
+		cancel()
+		return nil, nil, nil, err
+	}
+	all := persisted
+	last := 0
+	if n := len(all); n > 0 {
+		last = all[n-1].Seq
+	}
+	for _, ev := range history {
+		if ev.Seq > last {
+			all = append(all, ev)
+			last = ev.Seq
+		}
+	}
+	return all, live, cancel, nil
+}
+
+// resolveFuzzer maps a spec's fuzzer name to an implementation, using
+// the injected registry when present and the built-ins otherwise.
+func (e *Engine) resolveFuzzer(name string) (fuzz.Fuzzer, error) {
+	if e.opts.Fuzzers != nil {
+		if f, ok := e.opts.Fuzzers[strings.ToLower(name)]; ok {
+			return f, nil
+		}
+		return nil, fmt.Errorf("serve: unknown fuzzer %q", name)
+	}
+	return fuzz.ByName(name)
+}
+
+// worker pulls job ids until the engine drains or force-stops.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.draining {
+			e.cond.Wait()
+		}
+		if e.draining {
+			// Draining: start no new work. Whatever is still queued
+			// stays persisted for the next start.
+			e.mu.Unlock()
+			return
+		}
+		id := e.queue[0]
+		e.queue = e.queue[1:]
+		j := e.jobs[id]
+		if j.status.State != StateQueued || j.cancelled {
+			// Cancelled while queued; already settled.
+			e.updateMetricsLocked()
+			e.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(e.baseCtx)
+		j.cancel = cancel
+		j.status.State = StateRunning
+		j.status.StartedUnix = time.Now().Unix()
+		j.status.Attempts++
+		st := j.status
+		if err := e.store.WriteStatus(st); err != nil {
+			e.log.Errorf("job %s: persist status: %v", id, err)
+		}
+		e.updateMetricsLocked()
+		e.mu.Unlock()
+
+		j.hub.publish("state", func(ev *Event) { ev.State = StateRunning })
+		e.log.Infof("job %s: running (attempt %d)", id, st.Attempts)
+		start := time.Now()
+		report, err := e.execute(ctx, id, j.spec, j.hub)
+		cancel()
+		e.settle(id, j, report, err, time.Since(start))
+	}
+}
+
+// settle records one execution's outcome: done with a report, failed,
+// cancelled, or back to the queue (drain interruption or a transient
+// failure with attempts to spare).
+func (e *Engine) settle(id string, j *job, report []byte, err error, wall time.Duration) {
+	e.mu.Lock()
+	j.cancel = nil
+	j.status.WallSeconds = wall.Seconds()
+	e.rec.Observe(MJobWallSeconds, wall.Seconds())
+
+	var state State
+	var requeue bool
+	switch {
+	case err == nil:
+		state = StateDone
+	case j.cancelled:
+		state = StateCancelled
+	case errors.Is(err, context.Canceled):
+		// Not cancelled by the user, so the engine is stopping: hand
+		// the job back to the queue for the next daemon. Checkpoints
+		// written so far make the resume incremental.
+		state = StateQueued
+		requeue = true
+	case robust.IsTransient(err) && j.status.Attempts < e.opts.JobAttempts:
+		state = StateQueued
+		requeue = true
+	default:
+		state = StateFailed
+		j.status.Error = err.Error()
+	}
+	j.status.State = state
+	if state.Terminal() {
+		j.status.FinishedUnix = time.Now().Unix()
+	}
+	if state == StateDone {
+		if werr := e.store.WriteReport(id, report); werr != nil {
+			j.status.State = StateFailed
+			j.status.Error = fmt.Sprintf("persist report: %v", werr)
+			state = StateFailed
+		}
+	}
+	if werr := e.store.WriteStatus(j.status); werr != nil {
+		e.log.Errorf("job %s: persist status: %v", id, werr)
+	}
+	if requeue && !e.draining {
+		e.queue = append(e.queue, id)
+		e.cond.Signal()
+	}
+	e.updateMetricsLocked()
+	draining := e.draining
+	e.mu.Unlock()
+
+	errText := ""
+	if err != nil && state != StateDone {
+		errText = err.Error()
+	}
+	j.hub.publish("state", func(ev *Event) {
+		ev.State = state
+		if state == StateFailed {
+			ev.Error = errText
+		}
+	})
+	if state.Terminal() {
+		j.hub.close()
+	}
+	switch {
+	case state == StateDone:
+		e.log.Infof("job %s: done in %.2fs", id, wall.Seconds())
+	case requeue && draining:
+		e.log.Infof("job %s: interrupted by drain, re-queued", id)
+	case requeue:
+		e.log.Warnf("job %s: transient failure, re-queued: %v", id, err)
+	default:
+		e.log.Warnf("job %s: %s: %v", id, state, err)
+	}
+}
+
+// execute runs one job to completion under a panic guard and returns
+// its encoded report. The error is the job's verdict: nil means done.
+func (e *Engine) execute(ctx context.Context, id string, spec JobSpec, h *hub) ([]byte, error) {
+	rec := newJobRecorder(e.rec, h)
+	span := rec.StartSpan(0, "job",
+		telemetry.KV("job", id), telemetry.KV("kind", spec.Kind), telemetry.KV("fuzzer", spec.Fuzzer))
+	defer span.End()
+	return robust.Guard(func() ([]byte, error) {
+		fuzzer, err := e.resolveFuzzer(spec.Fuzzer)
+		if err != nil {
+			return nil, err
+		}
+		params := flock.DefaultParams()
+		if e.opts.Flock != nil {
+			params = *e.opts.Flock
+		}
+		ctrl, err := flock.New(params)
+		if err != nil {
+			return nil, err
+		}
+		switch spec.Kind {
+		case KindFuzz:
+			return e.runFuzz(ctx, id, spec, fuzzer, ctrl, rec)
+		default:
+			return e.runCampaign(ctx, id, spec, fuzzer, params, rec)
+		}
+	})
+}
+
+// runFuzz executes a single-mission fuzz job — the daemon twin of
+// cmd/swarmfuzz.
+func (e *Engine) runFuzz(ctx context.Context, id string, spec JobSpec, fuzzer fuzz.Fuzzer,
+	ctrl sim.Controller, rec telemetry.Recorder) ([]byte, error) {
+	mission, err := sim.NewMission(sim.DefaultMissionConfig(spec.SwarmSize, spec.Seed))
+	if err != nil {
+		return nil, err
+	}
+	opts := spec.FuzzOptions()
+	opts.Telemetry = rec
+	if spec.Flightlog {
+		terms, _ := ctrl.(flightlog.TermSource)
+		arch, err := flightlog.NewArchive(e.store.FlightDir(id), terms)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("n%d_d%g_seed%d", spec.SwarmSize, spec.SpoofDistance, spec.Seed)
+		flog, path, err := arch.Create(name)
+		if err != nil {
+			return nil, err
+		}
+		opts.Flight = flog
+		defer func() {
+			if cerr := flog.Close(); cerr != nil {
+				e.log.Warnf("job %s: flight log: %v", id, cerr)
+				return
+			}
+			if spec.Postmortem {
+				writePostmortem(e.log, id, path)
+			}
+		}()
+	}
+	rep, err := robust.Call(ctx, spec.MissionTimeout(), func() (*fuzz.Report, error) {
+		return fuzzer.Fuzz(fuzz.Input{
+			Mission:       mission,
+			Controller:    ctrl,
+			SpoofDistance: spec.SpoofDistance,
+		}, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return MarshalReport(NewFuzzReport(spec, rep))
+}
+
+// runCampaign executes a campaign or grid job through experiments.Grid
+// with per-cell checkpoints inside the job directory, so interruptions
+// resume instead of restarting.
+func (e *Engine) runCampaign(ctx context.Context, id string, spec JobSpec, fuzzer fuzz.Fuzzer,
+	params flock.Params, rec telemetry.Recorder) ([]byte, error) {
+	cfg := spec.CampaignConfig()
+	cfg.Flock = params
+	cfg.Telemetry = rec
+	cfg.Log = e.log
+	cfg.Checkpoint = e.store.CheckpointDir(id)
+	if spec.Flightlog {
+		cfg.FlightDir = e.store.FlightDir(id)
+	}
+	cells, err := experiments.Grid(ctx, cfg, fuzzer)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Kind == KindCampaign {
+		return MarshalReport(cells[0])
+	}
+	return MarshalReport(cells)
+}
+
+// writePostmortem renders the HTML post-mortem next to a flight log,
+// degrading failures to a warning: forensics never fail a job.
+func writePostmortem(log *telemetry.Logger, id, flightPath string) {
+	html := strings.TrimSuffix(flightPath, ".flight.jsonl") + ".postmortem.html"
+	if err := flreport.GenerateFile(flightPath, html); err != nil {
+		log.Warnf("job %s: post-mortem: %v", id, err)
+	}
+}
+
+// updateMetrics refreshes the engine gauges from current state.
+func (e *Engine) updateMetrics() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.updateMetricsLocked()
+}
+
+func (e *Engine) updateMetricsLocked() {
+	counts := map[State]int{}
+	for _, j := range e.jobs {
+		counts[j.status.State]++
+	}
+	e.rec.Set(MQueueDepth, float64(len(e.queue)))
+	e.rec.Set(MJobsQueued, float64(counts[StateQueued]))
+	e.rec.Set(MJobsRunning, float64(counts[StateRunning]))
+	e.rec.Set(MJobsDone, float64(counts[StateDone]))
+	e.rec.Set(MJobsFailed, float64(counts[StateFailed]))
+	e.rec.Set(MJobsCancelled, float64(counts[StateCancelled]))
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"swarmfuzz/internal/telemetry"
+)
+
+// API surface (all request/response bodies are JSON):
+//
+//	POST   /v1/jobs             submit a JobSpec       → 202 JobStatus
+//	GET    /v1/jobs             list jobs              → 200 []JobStatus
+//	GET    /v1/jobs/{id}        one job's status       → 200 JobStatus
+//	GET    /v1/jobs/{id}/report finished job's report  → 200 report.json
+//	GET    /v1/jobs/{id}/events progress stream        → 200 SSE (or
+//	                            JSONL with ?format=jsonl), replaying the
+//	                            job's history then following live
+//	DELETE /v1/jobs/{id}        cancel                 → 202 JobStatus
+//	GET    /healthz             process liveness       → 200
+//	GET    /readyz              accepting jobs?        → 200 | 503
+//
+// Failure mapping: invalid spec → 400, unknown id → 404, state
+// conflict → 409, backlog full → 429, draining → 503. The daemon's
+// /metrics, /metrics.json and /debug/pprof/ endpoints live on the same
+// mux (telemetry.NewDebugMux), so one listener serves everything.
+
+// NewServer returns the daemon's HTTP handler over the engine. reg,
+// when non-nil, mounts the shared telemetry debug mux (metrics +
+// pprof) alongside the job API.
+func NewServer(e *Engine, reg *telemetry.Registry) http.Handler {
+	var mux *http.ServeMux
+	if reg != nil {
+		mux = telemetry.NewDebugMux(reg)
+	} else {
+		mux = http.NewServeMux()
+	}
+	s := &server{engine: e}
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		if e.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type server struct {
+	engine *Engine
+}
+
+// writeJSON responds with v at the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps an engine error onto its HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBacklogFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, fmt.Errorf("serve: decode job spec: %w", err))
+		return
+	}
+	st, err := s.engine.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *server) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.engine.Jobs()
+	if jobs == nil {
+		jobs = []JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) report(w http.ResponseWriter, r *http.Request) {
+	data, err := s.engine.Report(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// The stored bytes are served verbatim: report.json is promised to
+	// be byte-identical to the same-seed CLI run's encoding.
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// events streams the job's event history and then follows live until
+// the job settles or the client disconnects. Server-sent events by
+// default; newline-delimited JSON with ?format=jsonl.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	history, live, unsubscribe, err := s.engine.Subscribe(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer unsubscribe()
+
+	jsonl := r.URL.Query().Get("format") == "jsonl"
+	if jsonl {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	flusher, _ := w.(http.Flusher)
+	emit := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if jsonl {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	last := 0
+	for _, e := range history {
+		if !emit(e) {
+			return
+		}
+		last = e.Seq
+	}
+	if live == nil {
+		return // stream already closed: history was everything
+	}
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				return
+			}
+			// The live channel was subscribed before the history was
+			// read, so the two may overlap; seq dedupe drops replays.
+			if e.Seq <= last {
+				continue
+			}
+			if !emit(e) {
+				return
+			}
+			last = e.Seq
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

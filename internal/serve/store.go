@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Store is the daemon's disk layout. Each job owns one directory:
+//
+//	<dir>/jobs/<id>/spec.json        the submitted spec (immutable)
+//	                status.json      the current JobStatus
+//	                report.json      the result (written once, on done)
+//	                events.jsonl     the job's progress event stream
+//	                checkpoint/      campaign cell checkpoints
+//	                flights/         flight logs and post-mortems
+//
+// spec.json, status.json and report.json are written atomically (temp
+// file + rename), so a file that exists is complete: a daemon killed
+// mid-write leaves either the old content or nothing, never a torn
+// file. The store survives restarts — the engine re-queues every job
+// whose persisted state is queued or running, and a resumed campaign
+// job picks up from the checkpoints its interrupted run left behind.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating as needed) the store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: empty store directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// JobDir returns the directory owned by the given job.
+func (s *Store) JobDir(id string) string { return filepath.Join(s.dir, "jobs", id) }
+
+// CheckpointDir returns the job's campaign checkpoint directory.
+func (s *Store) CheckpointDir(id string) string { return filepath.Join(s.JobDir(id), "checkpoint") }
+
+// FlightDir returns the job's flight-log archive directory.
+func (s *Store) FlightDir(id string) string { return filepath.Join(s.JobDir(id), "flights") }
+
+// ReportPath returns the job's report file path.
+func (s *Store) ReportPath(id string) string { return filepath.Join(s.JobDir(id), "report.json") }
+
+// EventsPath returns the job's persisted event stream path.
+func (s *Store) EventsPath(id string) string { return filepath.Join(s.JobDir(id), "events.jsonl") }
+
+// FormatID renders the canonical job id for a sequence number. Ids are
+// zero-padded so lexical order is submission order.
+func FormatID(n int) string { return fmt.Sprintf("j%06d", n) }
+
+// parseID extracts the sequence number from a job id, reporting
+// whether the id is canonical.
+func parseID(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 || FormatID(n) != id {
+		return 0, false
+	}
+	return n, true
+}
+
+// List returns the ids of every job in the store, in submission order.
+// Unrecognised directory entries are skipped: the store owns only the
+// layout it created.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: list jobs: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if _, ok := parseID(e.Name()); ok && e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// writeJSONAtomic writes v as indented JSON to path via a temp file in
+// the same directory plus an atomic rename, creating parents first.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// writeFileAtomic writes data to path atomically.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteSpec persists the job's spec.
+func (s *Store) WriteSpec(id string, spec JobSpec) error {
+	return writeJSONAtomic(filepath.Join(s.JobDir(id), "spec.json"), spec)
+}
+
+// ReadSpec loads the job's spec.
+func (s *Store) ReadSpec(id string) (JobSpec, error) {
+	var spec JobSpec
+	data, err := os.ReadFile(filepath.Join(s.JobDir(id), "spec.json"))
+	if err != nil {
+		return spec, fmt.Errorf("serve: read spec %s: %w", id, err)
+	}
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return spec, fmt.Errorf("serve: decode spec %s: %w", id, err)
+	}
+	return spec, nil
+}
+
+// WriteStatus persists the job's status.
+func (s *Store) WriteStatus(st JobStatus) error {
+	return writeJSONAtomic(filepath.Join(s.JobDir(st.ID), "status.json"), st)
+}
+
+// ReadStatus loads the job's status.
+func (s *Store) ReadStatus(id string) (JobStatus, error) {
+	var st JobStatus
+	data, err := os.ReadFile(filepath.Join(s.JobDir(id), "status.json"))
+	if err != nil {
+		return st, fmt.Errorf("serve: read status %s: %w", id, err)
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("serve: decode status %s: %w", id, err)
+	}
+	return st, nil
+}
+
+// WriteReport persists the job's report bytes (already encoded with
+// MarshalReport).
+func (s *Store) WriteReport(id string, data []byte) error {
+	return writeFileAtomic(s.ReportPath(id), data)
+}
+
+// ReadReport returns the job's report bytes.
+func (s *Store) ReadReport(id string) ([]byte, error) {
+	return os.ReadFile(s.ReportPath(id))
+}
+
+// AppendEvent appends one event line to the job's persisted stream.
+// Event persistence is best-effort durability for post-restart reads;
+// an append failure must not fail the job, so the caller logs and
+// moves on.
+func (s *Store) AppendEvent(id string, data []byte) error {
+	if err := os.MkdirAll(s.JobDir(id), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.EventsPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEvents returns the job's persisted events in order. Torn trailing
+// lines (a crash mid-append) are skipped.
+func (s *Store) ReadEvents(id string) ([]Event, error) {
+	f, err := os.Open(s.EventsPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

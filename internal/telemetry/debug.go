@@ -7,12 +7,11 @@ import (
 	"time"
 )
 
-// ServeDebug starts an HTTP debug server on addr exposing the standard
-// pprof handlers under /debug/pprof/, the registry's current state at
-// /metrics (Prometheus text format) and /metrics.json. It returns the
-// running server and the bound address (useful with a ":0" addr);
-// shut it down with srv.Close.
-func ServeDebug(addr string, reg *Registry) (srv *http.Server, boundAddr string, err error) {
+// NewDebugMux returns a mux exposing the standard pprof handlers under
+// /debug/pprof/, the registry's current state at /metrics (Prometheus
+// text format) and /metrics.json. Servers that carry their own API
+// (e.g. swarmfuzzd) build on this mux so one listener serves both.
+func NewDebugMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -27,6 +26,14 @@ func ServeDebug(addr string, reg *Registry) (srv *http.Server, boundAddr string,
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.Snapshot().WriteJSON(w)
 	})
+	return mux
+}
+
+// ServeDebug starts an HTTP debug server on addr serving NewDebugMux.
+// It returns the running server and the bound address (useful with a
+// ":0" addr); shut it down with srv.Close.
+func ServeDebug(addr string, reg *Registry) (srv *http.Server, boundAddr string, err error) {
+	mux := NewDebugMux(reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
