@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check serve-smoke bench bench-compare
+.PHONY: build vet test race check serve-smoke chaos-smoke bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ check: build vet race
 # persisted report — the daemon/store/API/client end-to-end proof.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# chaos-smoke runs the same grid job on a healthy daemon and on one
+# under an injected fault schedule (torn write, ENOSPC, a watchdogged
+# stall) plus a pre-corrupted store, and requires byte-identical
+# reports with every failure visible on /metrics. Race-detector build.
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 # bench smoke-runs every benchmark once and leaves two records behind:
 # BENCH_telemetry.json holds the telemetry pipeline's throughput

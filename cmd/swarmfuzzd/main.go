@@ -32,9 +32,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"swarmfuzz/internal/chaos"
 	"swarmfuzz/internal/serve"
 	"swarmfuzz/internal/serve/client"
 	"swarmfuzz/internal/telemetry"
@@ -104,6 +107,10 @@ func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err er
 		workers  = fs.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
 		backlog  = fs.Int("backlog", 64, "max queued jobs before submits get 429")
 		drain    = fs.Duration("drain", 30*time.Second, "grace given to in-flight jobs on shutdown before they are cancelled back into the queue")
+		stall    = fs.Duration("job-stall-timeout", 0, "kill a job attempt after this long without telemetry heartbeats (0 = no watchdog)")
+		ttl      = fs.Duration("job-ttl", 0, "garbage-collect finished jobs this long after completion (0 = keep forever)")
+		gcEvery  = fs.Duration("gc-interval", time.Minute, "TTL sweep period")
+		chaosCfg = fs.String("chaos", "", "chaos spec `file`: inject the fault schedule into store IO and job stall points (testing only)")
 	)
 	tf := telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -119,12 +126,25 @@ func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err er
 		}
 	}()
 
+	var injector *chaos.Injector
+	if *chaosCfg != "" {
+		spec, err := chaos.LoadSpec(*chaosCfg)
+		if err != nil {
+			return err
+		}
+		injector = chaos.New(spec, tel.Rec, log)
+		log.Warnf("chaos harness armed: %d fault rule(s) from %s (seed %d)", len(spec.Faults), *chaosCfg, spec.Seed)
+	}
 	engine, err := serve.NewEngine(serve.Options{
-		Store:     *store,
-		Workers:   *workers,
-		Backlog:   *backlog,
-		Telemetry: tel.Rec,
-		Log:       log,
+		Store:        *store,
+		Workers:      *workers,
+		Backlog:      *backlog,
+		StallTimeout: *stall,
+		JobTTL:       *ttl,
+		GCInterval:   *gcEvery,
+		Chaos:        injector,
+		Telemetry:    tel.Rec,
+		Log:          log,
 	})
 	if err != nil {
 		return err
@@ -178,6 +198,8 @@ func runSubmit(ctx context.Context, args []string, log *telemetry.Logger) error 
 		dist    = fs.Float64("dist", 10, "GPS spoofing deviation d in metres (fuzz/campaign)")
 		miss    = fs.Int("missions", 30, "missions per cell (campaign/grid)")
 		base    = fs.Uint64("base-seed", 1, "base mission seed (campaign/grid)")
+		sizes   = fs.String("sizes", "", "comma-separated swarm sizes for a grid job (empty = server default grid)")
+		dists   = fs.String("dists", "", "comma-separated spoof distances for a grid job (empty = server default grid)")
 		iters   = fs.Int("iters", 0, "max search iterations per seed (0 = default)")
 		maxs    = fs.Int("max-seeds", 0, "max seeds per mission (0 = all)")
 		sworker = fs.Int("seed-workers", 0, "speculative seed-search workers")
@@ -211,6 +233,13 @@ func runSubmit(ctx context.Context, args []string, log *telemetry.Logger) error 
 	}
 	if spec.Kind == serve.KindGrid {
 		spec.SwarmSize, spec.SpoofDistance = 0, 0
+		var err error
+		if spec.SwarmSizes, err = parseInts(*sizes); err != nil {
+			return fmt.Errorf("-sizes: %w", err)
+		}
+		if spec.SpoofDistances, err = parseFloats(*dists); err != nil {
+			return fmt.Errorf("-dists: %w", err)
+		}
 	}
 	c := client.New(*addr)
 	st, err := c.Submit(ctx, spec)
@@ -235,6 +264,38 @@ func runSubmit(ctx context.Context, args []string, log *telemetry.Logger) error 
 		return nil
 	}
 	return printStatus(final)
+}
+
+// parseInts parses a comma-separated integer list; "" means nil.
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list; "" means nil.
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // waitAndLog follows the job's events, logging progress to stderr, and

@@ -167,3 +167,69 @@ func TestPolicyBackoff(t *testing.T) {
 		}
 	}
 }
+
+func TestRetryCancelledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, attempts, err := Retry(ctx, Policy{MaxAttempts: 5, BaseDelay: time.Hour}, func(context.Context) (int, error) {
+		calls++
+		return 0, Transient(errors.New("flaky"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 || attempts != 1 {
+		t.Errorf("calls = %d, attempts = %d, want 1 (cancelled during the first backoff)", calls, attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v: the backoff timer was not interrupted", elapsed)
+	}
+}
+
+func TestRetryPermanentWrapShortCircuits(t *testing.T) {
+	calls := 0
+	boom := errors.New("gave up")
+	_, attempts, err := Retry(context.Background(), Policy{MaxAttempts: 10}, func(context.Context) (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, Transient(errors.New("flaky once"))
+		}
+		// A later attempt discovering the failure is unfixable must end
+		// the loop with attempts to spare.
+		return 0, Permanent(boom)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the permanent error", err)
+	}
+	if calls != 2 || attempts != 2 {
+		t.Errorf("calls = %d, attempts = %d, want 2 (no retry after Permanent)", calls, attempts)
+	}
+}
+
+// TestBackoffMonotonicUnderOverflow pins that deep retry counts never
+// shrink or sign-flip the delay once the doubling overflows.
+func TestBackoffMonotonicUnderOverflow(t *testing.T) {
+	p := Policy{BaseDelay: time.Hour, MaxDelay: 3 * time.Hour}
+	prev := time.Duration(0)
+	for n := 1; n <= 70; n++ {
+		d := p.backoff(n)
+		if d < 0 {
+			t.Fatalf("backoff(%d) = %v, negative after overflow", n, d)
+		}
+		if d < prev {
+			t.Fatalf("backoff(%d) = %v < backoff(%d) = %v, want monotonic", n, d, n-1, prev)
+		}
+		if d > p.MaxDelay {
+			t.Fatalf("backoff(%d) = %v exceeds cap %v", n, d, p.MaxDelay)
+		}
+		prev = d
+	}
+	if got := p.backoff(70); got != p.MaxDelay {
+		t.Errorf("deep backoff = %v, want the cap %v", got, p.MaxDelay)
+	}
+}

@@ -8,14 +8,19 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
+	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/serve"
 )
 
@@ -66,6 +71,13 @@ func StatusCode(err error) int {
 // do issues one request and decodes the JSON response into out (when
 // non-nil), mapping non-2xx responses to *apiError.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doFunc(ctx, method, path, in, out, nil)
+}
+
+// doFunc is do with an inspect hook called on every 2xx response
+// before the body is decoded (for response headers like pagination
+// cursors).
+func (c *Client) doFunc(ctx context.Context, method, path string, in, out any, inspect func(*http.Response)) error {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -100,6 +112,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		return &apiError{Status: resp.StatusCode, Message: msg}
 	}
+	if inspect != nil {
+		inspect(resp)
+	}
 	if out == nil {
 		return nil
 	}
@@ -110,10 +125,53 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.Unmarshal(data, out)
 }
 
-// Submit enqueues a job and returns its initial status.
+// submitRetry paces Submit's resubmissions after transient failures.
+var submitRetry = robust.Policy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// newIdempotencyKey returns a random client-generated key.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "" // no entropy, no dedupe — submission still works
+	}
+	return "ik-" + hex.EncodeToString(b[:])
+}
+
+// classifySubmit decides whether a submit failure is worth resending.
+// Transport errors (connection refused/reset, a daemon mid-restart)
+// and gateway errors (502/504) retry; every daemon verdict — including
+// 429 backlog-full and 503 draining — is final, because the daemon saw
+// the request and answered it.
+func classifySubmit(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch StatusCode(err) {
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		return robust.Transient(err)
+	case 0:
+		var ue *url.Error
+		if errors.As(err, &ue) {
+			return robust.Transient(err)
+		}
+	}
+	return robust.Permanent(err)
+}
+
+// Submit enqueues a job and returns its initial status. A spec without
+// an idempotency key gets a random one, and transient transport
+// failures are retried under it — the daemon deduplicates a
+// resubmission whose first copy actually arrived, so a retried submit
+// never enqueues the job twice.
 func (c *Client) Submit(ctx context.Context, spec serve.JobSpec) (serve.JobStatus, error) {
-	var st serve.JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	if strings.TrimSpace(spec.IdempotencyKey) == "" {
+		spec.IdempotencyKey = newIdempotencyKey()
+	}
+	st, _, err := robust.Retry(ctx, submitRetry, func(ctx context.Context) (serve.JobStatus, error) {
+		var st serve.JobStatus
+		err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+		return st, classifySubmit(err)
+	})
 	return st, err
 }
 
@@ -122,6 +180,30 @@ func (c *Client) List(ctx context.Context) ([]serve.JobStatus, error) {
 	var out []serve.JobStatus
 	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
 	return out, err
+}
+
+// ListPage returns up to limit statuses after the cursor, plus the
+// cursor for the next page ("" when the listing is exhausted).
+func (c *Client) ListPage(ctx context.Context, after string, limit int) ([]serve.JobStatus, string, error) {
+	q := url.Values{}
+	if after != "" {
+		q.Set("after", after)
+	}
+	if limit != 0 {
+		// Non-positive limits go through so the server rejects them:
+		// 0 alone means "no bound".
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out []serve.JobStatus
+	next := ""
+	err := c.doFunc(ctx, http.MethodGet, path, nil, &out, func(resp *http.Response) {
+		next = resp.Header.Get("X-Next-After")
+	})
+	return out, next, err
 }
 
 // Get returns one job's status.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"swarmfuzz/internal/chaos"
 	"swarmfuzz/internal/experiments"
 	"swarmfuzz/internal/flightlog"
 	flreport "swarmfuzz/internal/flightlog/report"
@@ -32,7 +33,29 @@ const (
 	MJobsCancelled = "serve_jobs_cancelled"
 	// MJobWallSeconds is the per-job wall-time histogram.
 	MJobWallSeconds = "serve_job_wall_seconds"
+	// MFaultsInjected counts chaos faults fired into the store and
+	// engine hook points (chaos.MFaultsInjected, re-exported so the
+	// daemon's metric names live in one place).
+	MFaultsInjected = chaos.MFaultsInjected
+	// MStoreQuarantined counts job directories found corrupt at
+	// startup and moved to jobs/.quarantine/.
+	MStoreQuarantined = "serve_store_quarantined"
+	// MIODegraded counts store writes that failed even after retries:
+	// the job kept going, durability degraded.
+	MIODegraded = "serve_io_degraded"
+	// MWatchdogKills counts jobs killed by the per-job stall watchdog.
+	MWatchdogKills = "serve_watchdog_kills"
+	// MJobsGCed counts terminal jobs swept from the store by TTL
+	// garbage collection.
+	MJobsGCed = "serve_jobs_gced"
 )
+
+// robustnessCounters are pre-registered at engine creation so the
+// failure-path counters are visible on /metrics as explicit zeros from
+// the first scrape — an operator greps for them, not for their absence.
+var robustnessCounters = []string{
+	MFaultsInjected, MStoreQuarantined, MIODegraded, MWatchdogKills, MJobsGCed,
+}
 
 // Errors the engine maps to HTTP statuses.
 var (
@@ -60,6 +83,25 @@ type Options struct {
 	// JobAttempts bounds executions per job, counting re-queues after
 	// transient failures (daemon restarts don't count). 0 means 2.
 	JobAttempts int
+	// StallTimeout kills a running job that has not heartbeat (no
+	// telemetry activity) for this long: the job is cancelled with a
+	// robust.ErrDeadline verdict, retried per JobAttempts, then marked
+	// failed with a forensic event. 0 disables the watchdog.
+	StallTimeout time.Duration
+	// JobTTL garbage-collects terminal jobs this long after they
+	// finished; 0 keeps jobs forever.
+	JobTTL time.Duration
+	// GCInterval is the TTL sweep period; 0 means 1 minute.
+	GCInterval time.Duration
+	// Chaos, when non-nil, injects the fault schedule into every store
+	// operation and engine stall hook — the chaos harness.
+	Chaos *chaos.Injector
+	// FS is the base filesystem under the store (and under Chaos when
+	// both are set); nil means chaos.OS().
+	FS chaos.FS
+	// StoreRetry overrides the store's write-retry policy; the zero
+	// value means DefaultStoreRetry.
+	StoreRetry robust.Policy
 	// Fuzzers maps spec fuzzer names to implementations; nil means the
 	// built-in registry (fuzz.ByName). Tests inject stubs here.
 	Fuzzers map[string]fuzz.Fuzzer
@@ -81,6 +123,7 @@ type job struct {
 	hub       *hub
 	cancel    context.CancelFunc // non-nil while running
 	cancelled bool               // DELETE requested
+	report    []byte             // in-memory fallback when report.json could not persist
 }
 
 // Engine owns the job queue, the worker pool and the store. Create it
@@ -100,6 +143,7 @@ type Engine struct {
 	cond     *sync.Cond
 	queue    []string
 	jobs     map[string]*job
+	byKey    map[string]string // idempotency key -> job id
 	nextID   int
 	draining bool
 	started  bool
@@ -119,7 +163,24 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.JobAttempts <= 0 {
 		opts.JobAttempts = 2
 	}
-	store, err := OpenStore(opts.Store)
+	if opts.GCInterval <= 0 {
+		opts.GCInterval = time.Minute
+	}
+	rec := telemetry.OrNop(opts.Telemetry)
+	fsys := opts.FS
+	if opts.Chaos != nil {
+		// The engine owns metric routing: injected-fault counts must land
+		// on the same /metrics as the degradation counters they explain.
+		opts.Chaos.SetRecorder(rec)
+		fsys = opts.Chaos.FS(fsys)
+	}
+	store, err := OpenStoreWith(StoreOptions{
+		Dir:       opts.Store,
+		FS:        fsys,
+		Retry:     opts.StoreRetry,
+		Telemetry: rec,
+		Log:       opts.Log,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +188,12 @@ func NewEngine(opts Options) (*Engine, error) {
 		opts:  opts,
 		store: store,
 		log:   opts.Log,
-		rec:   telemetry.OrNop(opts.Telemetry),
+		rec:   rec,
 		jobs:  map[string]*job{},
+		byKey: map[string]string{},
+	}
+	for _, name := range robustnessCounters {
+		e.rec.Add(name, 0)
 	}
 	e.cond = sync.NewCond(&e.mu)
 	if err := e.reload(); err != nil {
@@ -138,24 +203,37 @@ func NewEngine(opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// reload restores the engine's state from the store.
+// reload restores the engine's state from the store. A job directory
+// whose metadata no longer parses — a torn manual edit, a bad disk, a
+// version from the future — is quarantined and skipped, never a boot
+// failure and never a silent skip: the daemon must come up with every
+// loadable job and visible evidence of every unloadable one.
 func (e *Engine) reload() error {
 	ids, err := e.store.List()
 	if err != nil {
 		return err
 	}
 	for _, id := range ids {
-		spec, err := e.store.ReadSpec(id)
-		if err != nil {
-			return err
+		if n, ok := parseID(id); ok && n >= e.nextID {
+			// Quarantined ids advance the counter too, so a freed id is
+			// never reissued to a new submission.
+			e.nextID = n + 1
 		}
-		st, err := e.store.ReadStatus(id)
+		spec, err := e.store.ReadSpec(id)
+		var st JobStatus
+		if err == nil {
+			st, err = e.store.ReadStatus(id)
+		}
 		if err != nil {
-			return err
+			if qerr := e.store.Quarantine(id, err.Error()); qerr != nil {
+				e.log.Errorf("job %s: corrupt and unquarantinable, skipping: %v (quarantine: %v)", id, err, qerr)
+			}
+			continue
 		}
 		events, err := e.store.ReadEvents(id)
 		if err != nil {
-			return fmt.Errorf("serve: read events %s: %w", id, err)
+			// Losing persisted events degrades replay, not the job.
+			e.log.Warnf("job %s: read events: %v (continuing without history)", id, err)
 		}
 		base := 0
 		if n := len(events); n > 0 {
@@ -173,7 +251,7 @@ func (e *Engine) reload() error {
 			j.status.State = StateQueued
 			j.status.Restarts++
 			if err := e.store.WriteStatus(j.status); err != nil {
-				return err
+				e.log.Warnf("job %s: persist re-queue: %v (will re-queue again next restart)", id, err)
 			}
 			h.publish("state", func(ev *Event) { ev.State = StateQueued })
 			e.queue = append(e.queue, id)
@@ -182,8 +260,10 @@ func (e *Engine) reload() error {
 			h.close()
 		}
 		e.jobs[id] = j
-		if n, ok := parseID(id); ok && n >= e.nextID {
-			e.nextID = n + 1
+		if key := spec.IdempotencyKey; key != "" {
+			if _, taken := e.byKey[key]; !taken {
+				e.byKey[key] = id
+			}
 		}
 	}
 	if len(e.queue) > 0 {
@@ -215,8 +295,63 @@ func (e *Engine) Start(ctx context.Context) {
 		e.wg.Add(1)
 		go e.worker()
 	}
+	if e.opts.JobTTL > 0 {
+		go e.gcLoop()
+	}
 	e.log.Infof("engine started: %d workers, backlog %d, store %s",
 		e.opts.Workers, e.opts.Backlog, e.store.Dir())
+}
+
+// gcLoop sweeps expired terminal jobs every GCInterval until the
+// engine stops.
+func (e *Engine) gcLoop() {
+	t := time.NewTicker(e.opts.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.baseCtx.Done():
+			return
+		case <-t.C:
+			e.gcSweep(time.Now())
+		}
+	}
+}
+
+// gcSweep removes every terminal job that finished more than JobTTL
+// ago, returning how many it collected. Queued and running jobs are
+// never touched: only a settled job whose report has had its TTL of
+// retrievability is garbage.
+func (e *Engine) gcSweep(now time.Time) int {
+	if e.opts.JobTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-e.opts.JobTTL).Unix()
+	e.mu.Lock()
+	var expired []string
+	for id, j := range e.jobs {
+		if j.status.State.Terminal() && j.status.FinishedUnix > 0 && j.status.FinishedUnix <= cutoff {
+			expired = append(expired, id)
+		}
+	}
+	for _, id := range expired {
+		j := e.jobs[id]
+		delete(e.jobs, id)
+		if key := j.spec.IdempotencyKey; key != "" && e.byKey[key] == id {
+			delete(e.byKey, key)
+		}
+	}
+	e.updateMetricsLocked()
+	e.mu.Unlock()
+	for _, id := range expired {
+		if err := e.store.RemoveJob(id); err != nil {
+			e.log.Warnf("gc: remove job %s: %v", id, err)
+		}
+		e.rec.Add(MJobsGCed, 1)
+	}
+	if len(expired) > 0 {
+		e.log.Infof("gc: collected %d job(s) older than %v", len(expired), e.opts.JobTTL)
+	}
+	return len(expired)
 }
 
 // Draining reports whether the engine has stopped accepting jobs.
@@ -260,12 +395,23 @@ func (e *Engine) Drain(grace time.Duration) {
 }
 
 // Submit validates, persists and enqueues a job, returning its status.
+// A spec carrying an idempotency key the engine has already accepted
+// returns the existing job's status instead of enqueuing a duplicate —
+// the property that makes client-side submit retries safe.
 func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	spec.Normalize()
 	if err := spec.Validate(e.resolveFuzzer); err != nil {
 		return JobStatus{}, err
 	}
 	e.mu.Lock()
+	if key := spec.IdempotencyKey; key != "" {
+		if id, ok := e.byKey[key]; ok {
+			st := e.jobs[id].status
+			e.mu.Unlock()
+			e.log.Infof("job %s: resubmission deduplicated (idempotency key %s)", id, key)
+			return st, nil
+		}
+	}
 	if e.draining {
 		e.mu.Unlock()
 		return JobStatus{}, ErrDraining
@@ -277,7 +423,7 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	id := FormatID(e.nextID)
 	e.nextID++
 	st := JobStatus{
-		ID: id, Kind: spec.Kind, Fuzzer: spec.Fuzzer,
+		ID: id, Kind: spec.Kind, Fuzzer: spec.Fuzzer, SpecHash: spec.Hash(),
 		State: StateQueued, CreatedUnix: time.Now().Unix(),
 	}
 	if err := e.store.WriteSpec(id, spec); err != nil {
@@ -290,6 +436,9 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	j := &job{spec: spec, status: st, hub: newHub(id, 0, e.store, e.log)}
 	e.jobs[id] = j
+	if key := spec.IdempotencyKey; key != "" {
+		e.byKey[key] = id
+	}
 	e.queue = append(e.queue, id)
 	e.cond.Signal()
 	e.updateMetricsLocked()
@@ -323,15 +472,34 @@ func (e *Engine) Spec(id string) (JobSpec, error) {
 
 // Jobs returns every job's status in submission order.
 func (e *Engine) Jobs() []JobStatus {
+	out, _ := e.JobsPage("", 0)
+	return out
+}
+
+// JobsPage returns up to limit statuses with ids strictly after the
+// cursor, in submission order (limit 0 means no bound), plus the
+// cursor for the next page ("" when this page exhausts the listing).
+// The cursor is a job id, so pagination is stable under concurrent
+// submissions: new jobs only ever appear after every existing cursor.
+func (e *Engine) JobsPage(after string, limit int) (page []JobStatus, next string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := make([]JobStatus, 0, len(e.jobs))
-	for n := range e.nextID {
-		if j, ok := e.jobs[FormatID(n)]; ok {
-			out = append(out, j.status)
-		}
+	start := 0
+	if n, ok := parseID(after); ok {
+		start = n + 1
 	}
-	return out
+	page = make([]JobStatus, 0, len(e.jobs))
+	for n := start; n < e.nextID; n++ {
+		j, ok := e.jobs[FormatID(n)]
+		if !ok {
+			continue // gc'd or quarantined id
+		}
+		if limit > 0 && len(page) == limit {
+			return page, page[len(page)-1].ID
+		}
+		page = append(page, j.status)
+	}
+	return page, ""
 }
 
 // Report returns the job's persisted report bytes. ErrConflict means
@@ -348,8 +516,15 @@ func (e *Engine) Report(id string) ([]byte, error) {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("%w: job is %s, report exists once done", ErrConflict, st)
 	}
+	fallback := j.report
 	e.mu.Unlock()
-	return e.store.ReadReport(id)
+	data, err := e.store.ReadReport(id)
+	if err != nil && fallback != nil {
+		// The disk lost the report (io_degraded done job): serve the
+		// in-memory copy — the result outlives the write failure.
+		return fallback, nil
+	}
+	return data, err
 }
 
 // Cancel stops a queued or running job. Cancelling a queued job
@@ -476,10 +651,39 @@ func (e *Engine) worker() {
 		j.hub.publish("state", func(ev *Event) { ev.State = StateRunning })
 		e.log.Infof("job %s: running (attempt %d)", id, st.Attempts)
 		start := time.Now()
-		report, err := e.execute(ctx, id, j.spec, j.hub)
+		report, err := e.executeWatched(ctx, cancel, id, j)
 		cancel()
 		e.settle(id, j, report, err, time.Since(start))
 	}
+}
+
+// executeWatched runs one job under the stall watchdog (when enabled)
+// and converts a watchdog kill into a robust.ErrDeadline verdict so
+// the normal transient-retry machinery handles it.
+func (e *Engine) executeWatched(ctx context.Context, cancel context.CancelFunc, id string, j *job) ([]byte, error) {
+	rec := newJobRecorder(e.rec, j.hub)
+	rec.chaos = e.opts.Chaos
+	var wd *watchdog
+	if e.opts.StallTimeout > 0 {
+		wd = newWatchdog(e.opts.StallTimeout)
+		rec.beat = wd.touch
+		stop := wd.run(ctx, func() {
+			e.rec.Add(MWatchdogKills, 1)
+			e.log.Warnf("job %s: watchdog: no heartbeat for %v, killing this attempt", id, e.opts.StallTimeout)
+			// The forensic event: what died, why, and when, persisted in
+			// the job's stream before the state transition that follows.
+			j.hub.publish("watchdog", func(ev *Event) {
+				ev.Error = fmt.Sprintf("watchdog: no heartbeat for %v, attempt killed", e.opts.StallTimeout)
+			})
+			cancel()
+		})
+		defer stop()
+	}
+	report, err := e.execute(ctx, id, j.spec, rec)
+	if wd != nil && wd.Stalled() && err != nil {
+		err = fmt.Errorf("serve: job stalled (no heartbeat for %v): %w", e.opts.StallTimeout, robust.ErrDeadline)
+	}
+	return report, err
 }
 
 // settle records one execution's outcome: done with a report, failed,
@@ -515,11 +719,16 @@ func (e *Engine) settle(id string, j *job, report []byte, err error, wall time.D
 	if state.Terminal() {
 		j.status.FinishedUnix = time.Now().Unix()
 	}
+	var degraded bool
 	if state == StateDone {
 		if werr := e.store.WriteReport(id, report); werr != nil {
-			j.status.State = StateFailed
-			j.status.Error = fmt.Sprintf("persist report: %v", werr)
-			state = StateFailed
+			// The result outlives the write failure: the job stays done,
+			// the report is served from the in-memory copy, and the
+			// degradation is visible in the status and the event stream.
+			j.report = report
+			j.status.IODegraded = true
+			degraded = true
+			e.log.Errorf("job %s: persist report: %v (degraded to in-memory report)", id, werr)
 		}
 	}
 	if werr := e.store.WriteStatus(j.status); werr != nil {
@@ -536,6 +745,11 @@ func (e *Engine) settle(id string, j *job, report []byte, err error, wall time.D
 	errText := ""
 	if err != nil && state != StateDone {
 		errText = err.Error()
+	}
+	if degraded {
+		j.hub.publish("io_degraded", func(ev *Event) {
+			ev.Error = "report could not be persisted; serving the in-memory copy"
+		})
 	}
 	j.hub.publish("state", func(ev *Event) {
 		ev.State = state
@@ -560,8 +774,7 @@ func (e *Engine) settle(id string, j *job, report []byte, err error, wall time.D
 
 // execute runs one job to completion under a panic guard and returns
 // its encoded report. The error is the job's verdict: nil means done.
-func (e *Engine) execute(ctx context.Context, id string, spec JobSpec, h *hub) ([]byte, error) {
-	rec := newJobRecorder(e.rec, h)
+func (e *Engine) execute(ctx context.Context, id string, spec JobSpec, rec *jobRecorder) ([]byte, error) {
 	span := rec.StartSpan(0, "job",
 		telemetry.KV("job", id), telemetry.KV("kind", spec.Kind), telemetry.KV("fuzzer", spec.Fuzzer))
 	defer span.End()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"swarmfuzz/internal/chaos"
 	"swarmfuzz/internal/telemetry"
 )
 
@@ -148,10 +149,15 @@ var progressTriggers = map[string]bool{
 // jobRecorder is the telemetry.Recorder a job runs under: it forwards
 // everything to the daemon's shared recorder (so /metrics aggregates
 // across jobs) while keeping per-job counts and publishing a progress
-// event whenever a mission settles.
+// event whenever a mission settles. It is also the job's liveness
+// surface: every counter increment beats the stall watchdog, and the
+// chaos harness can wedge the job here ("job:<counter>" stall points)
+// to prove the watchdog notices.
 type jobRecorder struct {
 	telemetry.Recorder
-	hub *hub
+	hub   *hub
+	beat  func()          // watchdog heartbeat; nil when the watchdog is off
+	chaos *chaos.Injector // stall hook points; nil when chaos is off
 
 	mu     sync.Mutex
 	counts map[string]int64
@@ -163,6 +169,14 @@ func newJobRecorder(parent telemetry.Recorder, h *hub) *jobRecorder {
 
 // Add implements telemetry.Recorder.
 func (r *jobRecorder) Add(name string, delta int64) {
+	if r.chaos != nil {
+		// Stall before the heartbeat: an injected wedge must look like
+		// silence to the watchdog, not like one last sign of life.
+		r.chaos.Stall("job:" + name)
+	}
+	if r.beat != nil {
+		r.beat()
+	}
 	r.Recorder.Add(name, delta)
 	r.mu.Lock()
 	r.counts[name] += delta
@@ -170,6 +184,15 @@ func (r *jobRecorder) Add(name string, delta int64) {
 	if progressTriggers[name] {
 		r.hub.publish("progress", func(e *Event) { e.Counters = r.snapshot() })
 	}
+}
+
+// Observe implements telemetry.Recorder; histogram samples count as
+// heartbeats too.
+func (r *jobRecorder) Observe(name string, v float64) {
+	if r.beat != nil {
+		r.beat()
+	}
+	r.Recorder.Observe(name, v)
 }
 
 // snapshot copies the job's progress counters.

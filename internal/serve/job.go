@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -85,6 +88,12 @@ type JobSpec struct {
 	// flights/ directory; Postmortem renders HTML next to each.
 	Flightlog  bool `json:"flightlog,omitempty"`
 	Postmortem bool `json:"postmortem,omitempty"`
+
+	// IdempotencyKey makes submission retries safe: a spec carrying a
+	// key the engine has already accepted returns the existing job
+	// instead of enqueuing a duplicate. The typed client generates one
+	// automatically; empty disables deduplication.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // Normalize fills defaulted fields in place so validation, execution
@@ -92,6 +101,7 @@ type JobSpec struct {
 func (s *JobSpec) Normalize() {
 	s.Kind = strings.ToLower(strings.TrimSpace(s.Kind))
 	s.Fuzzer = strings.ToLower(strings.TrimSpace(s.Fuzzer))
+	s.IdempotencyKey = strings.TrimSpace(s.IdempotencyKey)
 	if s.Fuzzer == "" {
 		s.Fuzzer = "swarmfuzz"
 	}
@@ -154,7 +164,19 @@ func (s JobSpec) Validate(resolve func(string) (fuzz.Fuzzer, error)) error {
 		s.SeedWorkers < 0 || s.MaxIterPerSeed < 0 || s.MaxSeeds < 0 {
 		return errors.New("serve: job spec knobs must be non-negative")
 	}
+	if len(s.IdempotencyKey) > 128 {
+		return fmt.Errorf("serve: idempotency key longer than 128 bytes (%d)", len(s.IdempotencyKey))
+	}
 	return nil
+}
+
+// Hash returns a short stable digest of the spec (including its
+// idempotency key), recorded in the job status so a client can verify
+// which spec a deduplicated resubmission matched.
+func (s JobSpec) Hash() string {
+	data, _ := json.Marshal(s)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
 }
 
 // MissionTimeout returns the spec's deadline as a duration.
@@ -220,6 +242,13 @@ type JobStatus struct {
 	Fuzzer string `json:"fuzzer"`
 	// State is the lifecycle state.
 	State State `json:"state"`
+	// SpecHash digests the accepted spec (JobSpec.Hash), letting a
+	// client confirm what a deduplicated resubmission matched.
+	SpecHash string `json:"spec_hash,omitempty"`
+	// IODegraded marks a done job whose report could not be persisted
+	// even after retries; the daemon serves it from memory until
+	// restart.
+	IODegraded bool `json:"io_degraded,omitempty"`
 	// Error is why the job failed (meaningful when State is failed).
 	Error string `json:"error,omitempty"`
 	// Attempts counts executions started, including re-queues after

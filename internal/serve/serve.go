@@ -28,6 +28,15 @@
 //     internal/robust) are re-queued a bounded number of times.
 //     Draining stops intake and gives in-flight jobs a grace period to
 //     finish before cancelling them back into the queue.
+//   - Robustness (DESIGN.md §4.10): store writes retry transient IO
+//     errors and degrade to an in-memory report (io_degraded) when the
+//     disk stays broken; corrupt job dirs are quarantined at startup,
+//     never a boot failure; a per-job watchdog kills attempts whose
+//     telemetry heartbeat goes silent; submissions dedupe by
+//     idempotency key so client retries are safe; terminal jobs are
+//     TTL-garbage-collected. All store IO runs through internal/chaos'
+//     FS so the deterministic fault-injection harness can sit between
+//     the daemon and the disk (make chaos-smoke).
 //
 // Everything the engine records flows through the shared telemetry
 // registry, so the daemon's /metrics endpoint exposes queue depth,

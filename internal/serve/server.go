@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"swarmfuzz/internal/telemetry"
 )
@@ -13,6 +14,9 @@ import (
 //
 //	POST   /v1/jobs             submit a JobSpec       → 202 JobStatus
 //	GET    /v1/jobs             list jobs              → 200 []JobStatus
+//	                            ?limit=N&after=ID pages in submission
+//	                            order; a full page's X-Next-After header
+//	                            carries the next cursor
 //	GET    /v1/jobs/{id}        one job's status       → 200 JobStatus
 //	GET    /v1/jobs/{id}/report finished job's report  → 200 report.json
 //	GET    /v1/jobs/{id}/events progress stream        → 200 SSE (or
@@ -106,10 +110,23 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
-func (s *server) list(w http.ResponseWriter, _ *http.Request) {
-	jobs := s.engine.Jobs()
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, fmt.Errorf("serve: limit must be a positive integer, got %q", v))
+			return
+		}
+		limit = n
+	}
+	jobs, next := s.engine.JobsPage(q.Get("after"), limit)
 	if jobs == nil {
 		jobs = []JobStatus{}
+	}
+	if next != "" {
+		w.Header().Set("X-Next-After", next)
 	}
 	writeJSON(w, http.StatusOK, jobs)
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +10,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"swarmfuzz/internal/chaos"
+	"swarmfuzz/internal/robust"
+	"swarmfuzz/internal/telemetry"
 )
 
 // Store is the daemon's disk layout. Each job owns one directory:
@@ -19,26 +25,82 @@ import (
 //	                events.jsonl     the job's progress event stream
 //	                checkpoint/      campaign cell checkpoints
 //	                flights/         flight logs and post-mortems
+//	<dir>/jobs/.quarantine/<id>      job dirs found corrupt at startup
 //
 // spec.json, status.json and report.json are written atomically (temp
 // file + rename), so a file that exists is complete: a daemon killed
 // mid-write leaves either the old content or nothing, never a torn
-// file. The store survives restarts — the engine re-queues every job
-// whose persisted state is queued or running, and a resumed campaign
-// job picks up from the checkpoints its interrupted run left behind.
+// file. Writes additionally retry per the store's robust.Policy, so a
+// transiently failing disk (the chaos injector's EIO/ENOSPC/torn
+// faults, or the real thing) degrades into a short stutter instead of
+// a failed job. The store survives restarts — the engine re-queues
+// every job whose persisted state is queued or running, quarantining
+// (not loading, not deleting) any job directory whose metadata no
+// longer parses — and a resumed campaign job picks up from the
+// checkpoints its interrupted run left behind.
+//
+// All file IO goes through a chaos.FS so the fault-injection harness
+// can sit between the store and the disk; production uses chaos.OS().
 type Store struct {
-	dir string
+	dir   string
+	fs    chaos.FS
+	retry robust.Policy
+	rec   telemetry.Recorder
+	log   *telemetry.Logger
 }
 
-// OpenStore opens (creating as needed) the store rooted at dir.
+// StoreOptions configure OpenStoreWith.
+type StoreOptions struct {
+	// Dir is the store root (required).
+	Dir string
+	// FS is the filesystem the store runs on; nil means chaos.OS().
+	FS chaos.FS
+	// Retry is the write-retry policy; the zero value means
+	// DefaultStoreRetry.
+	Retry robust.Policy
+	// Telemetry receives serve_io_degraded and serve_store_quarantined;
+	// nil disables recording.
+	Telemetry telemetry.Recorder
+	// Log receives quarantine and degradation warnings; nil is silent.
+	Log *telemetry.Logger
+}
+
+// DefaultStoreRetry is the store's write-retry policy: three quick
+// attempts, so a transient disk hiccup costs milliseconds and a real
+// outage surfaces fast enough for the engine to degrade the job.
+func DefaultStoreRetry() robust.Policy {
+	return robust.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+}
+
+// OpenStore opens (creating as needed) the store rooted at dir with
+// production defaults.
 func OpenStore(dir string) (*Store, error) {
-	if dir == "" {
+	return OpenStoreWith(StoreOptions{Dir: dir})
+}
+
+// OpenStoreWith opens the store with explicit wiring — the engine
+// passes its fault injector, telemetry and logger through here.
+func OpenStoreWith(opts StoreOptions) (*Store, error) {
+	if opts.Dir == "" {
 		return nil, fmt.Errorf("serve: empty store directory")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = chaos.OS()
+	}
+	if opts.Retry.MaxAttempts == 0 {
+		opts.Retry = DefaultStoreRetry()
+	}
+	s := &Store{
+		dir:   opts.Dir,
+		fs:    opts.FS,
+		retry: opts.Retry,
+		rec:   telemetry.OrNop(opts.Telemetry),
+		log:   opts.Log,
+	}
+	if err := s.fs.MkdirAll(filepath.Join(opts.Dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: open store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -46,6 +108,9 @@ func (s *Store) Dir() string { return s.dir }
 
 // JobDir returns the directory owned by the given job.
 func (s *Store) JobDir(id string) string { return filepath.Join(s.dir, "jobs", id) }
+
+// QuarantineDir returns the directory corrupt job dirs are moved to.
+func (s *Store) QuarantineDir() string { return filepath.Join(s.dir, "jobs", ".quarantine") }
 
 // CheckpointDir returns the job's campaign checkpoint directory.
 func (s *Store) CheckpointDir(id string) string { return filepath.Join(s.JobDir(id), "checkpoint") }
@@ -78,10 +143,10 @@ func parseID(id string) (int, bool) {
 }
 
 // List returns the ids of every job in the store, in submission order.
-// Unrecognised directory entries are skipped: the store owns only the
-// layout it created.
+// Unrecognised directory entries (including .quarantine) are skipped:
+// the store owns only the layout it created.
 func (s *Store) List() ([]string, error) {
-	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, "jobs"))
 	if err != nil {
 		return nil, fmt.Errorf("serve: list jobs: %w", err)
 	}
@@ -95,27 +160,80 @@ func (s *Store) List() ([]string, error) {
 	return ids, nil
 }
 
+// Quarantine moves the job's directory into jobs/.quarantine/ so a
+// corrupt job can never wedge the daemon or be silently dropped: the
+// evidence survives for a human, the id is freed for the engine. A
+// clashing quarantine name gets a numeric suffix.
+func (s *Store) Quarantine(id, reason string) error {
+	if err := s.fs.MkdirAll(s.QuarantineDir(), 0o755); err != nil {
+		return fmt.Errorf("serve: quarantine %s: %w", id, err)
+	}
+	dest := filepath.Join(s.QuarantineDir(), id)
+	for n := 2; ; n++ {
+		if _, err := s.fs.Stat(dest); os.IsNotExist(err) {
+			break
+		}
+		dest = filepath.Join(s.QuarantineDir(), fmt.Sprintf("%s.%d", id, n))
+	}
+	if err := s.fs.Rename(s.JobDir(id), dest); err != nil {
+		return fmt.Errorf("serve: quarantine %s: %w", id, err)
+	}
+	// Leave the why next to the evidence; best-effort by design.
+	note, _ := json.Marshal(map[string]string{"job": id, "reason": reason})
+	_ = s.writeFileAtomic(filepath.Join(dest, "quarantine.json"), append(note, '\n'))
+	s.rec.Add(MStoreQuarantined, 1)
+	if s.log != nil {
+		s.log.Warnf("store: quarantined job %s -> %s (%s)", id, dest, reason)
+	}
+	return nil
+}
+
+// RemoveJob deletes the job's directory tree (TTL garbage collection).
+func (s *Store) RemoveJob(id string) error {
+	return s.fs.RemoveAll(s.JobDir(id))
+}
+
 // writeJSONAtomic writes v as indented JSON to path via a temp file in
 // the same directory plus an atomic rename, creating parents first.
-func writeJSONAtomic(path string, v any) error {
+func (s *Store) writeJSONAtomic(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(path, append(data, '\n'))
+	return s.writeFileAtomic(path, append(data, '\n'))
 }
 
-// writeFileAtomic writes data to path atomically.
-func writeFileAtomic(path string, data []byte) error {
+// writeFileAtomic writes data to path atomically, retrying transient
+// IO failures per the store's policy. Each attempt is a fresh temp
+// file, so a torn write never reaches the destination; on exhausted
+// retries the failure counts as serve_io_degraded and surfaces to the
+// caller, which degrades the job instead of killing it.
+func (s *Store) writeFileAtomic(path string, data []byte) error {
+	_, _, err := robust.Retry(context.Background(), s.retry, func(context.Context) (struct{}, error) {
+		return struct{}{}, robust.Transient(s.writeFileOnce(path, data))
+	})
+	if err != nil {
+		s.rec.Add(MIODegraded, 1)
+		if s.log != nil {
+			s.log.Errorf("store: write %s failed after retries: %v", path, err)
+		}
+	}
+	return err
+}
+
+// writeFileOnce is one temp-file + rename attempt.
+func (s *Store) writeFileOnce(path string, data []byte) error {
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	// The pattern carries the destination filename so fault schedules
+	// (and humans inspecting a crashed store) can tell temp files apart.
+	tmp, err := s.fs.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -123,18 +241,18 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	return s.fs.Rename(tmp.Name(), path)
 }
 
 // WriteSpec persists the job's spec.
 func (s *Store) WriteSpec(id string, spec JobSpec) error {
-	return writeJSONAtomic(filepath.Join(s.JobDir(id), "spec.json"), spec)
+	return s.writeJSONAtomic(filepath.Join(s.JobDir(id), "spec.json"), spec)
 }
 
 // ReadSpec loads the job's spec.
 func (s *Store) ReadSpec(id string) (JobSpec, error) {
 	var spec JobSpec
-	data, err := os.ReadFile(filepath.Join(s.JobDir(id), "spec.json"))
+	data, err := s.fs.ReadFile(filepath.Join(s.JobDir(id), "spec.json"))
 	if err != nil {
 		return spec, fmt.Errorf("serve: read spec %s: %w", id, err)
 	}
@@ -146,13 +264,13 @@ func (s *Store) ReadSpec(id string) (JobSpec, error) {
 
 // WriteStatus persists the job's status.
 func (s *Store) WriteStatus(st JobStatus) error {
-	return writeJSONAtomic(filepath.Join(s.JobDir(st.ID), "status.json"), st)
+	return s.writeJSONAtomic(filepath.Join(s.JobDir(st.ID), "status.json"), st)
 }
 
 // ReadStatus loads the job's status.
 func (s *Store) ReadStatus(id string) (JobStatus, error) {
 	var st JobStatus
-	data, err := os.ReadFile(filepath.Join(s.JobDir(id), "status.json"))
+	data, err := s.fs.ReadFile(filepath.Join(s.JobDir(id), "status.json"))
 	if err != nil {
 		return st, fmt.Errorf("serve: read status %s: %w", id, err)
 	}
@@ -165,23 +283,34 @@ func (s *Store) ReadStatus(id string) (JobStatus, error) {
 // WriteReport persists the job's report bytes (already encoded with
 // MarshalReport).
 func (s *Store) WriteReport(id string, data []byte) error {
-	return writeFileAtomic(s.ReportPath(id), data)
+	return s.writeFileAtomic(s.ReportPath(id), data)
 }
 
 // ReadReport returns the job's report bytes.
 func (s *Store) ReadReport(id string) ([]byte, error) {
-	return os.ReadFile(s.ReportPath(id))
+	return s.fs.ReadFile(s.ReportPath(id))
 }
 
-// AppendEvent appends one event line to the job's persisted stream.
-// Event persistence is best-effort durability for post-restart reads;
-// an append failure must not fail the job, so the caller logs and
-// moves on.
+// AppendEvent appends one event line to the job's persisted stream,
+// retrying transient failures. Event persistence is best-effort
+// durability for post-restart reads; an exhausted-retry failure counts
+// as serve_io_degraded and must not fail the job, so the caller logs
+// and moves on.
 func (s *Store) AppendEvent(id string, data []byte) error {
-	if err := os.MkdirAll(s.JobDir(id), 0o755); err != nil {
+	_, _, err := robust.Retry(context.Background(), s.retry, func(context.Context) (struct{}, error) {
+		return struct{}{}, robust.Transient(s.appendEventOnce(id, data))
+	})
+	if err != nil {
+		s.rec.Add(MIODegraded, 1)
+	}
+	return err
+}
+
+func (s *Store) appendEventOnce(id string, data []byte) error {
+	if err := s.fs.MkdirAll(s.JobDir(id), 0o755); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(s.EventsPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenFile(s.EventsPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -195,7 +324,7 @@ func (s *Store) AppendEvent(id string, data []byte) error {
 // ReadEvents returns the job's persisted events in order. Torn trailing
 // lines (a crash mid-append) are skipped.
 func (s *Store) ReadEvents(id string) ([]Event, error) {
-	f, err := os.Open(s.EventsPath(id))
+	f, err := s.fs.Open(s.EventsPath(id))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// watchdog kills a job whose telemetry has gone silent. Every counter
+// the job records through its jobRecorder is a heartbeat (sim.Run adds
+// sim_runs/sim_steps per simulation, the campaign engine adds
+// mission-level counters), so a healthy job beats many times a second
+// and a wedged one — a hung simulation, a livelocked search, a chaos
+// stall — goes quiet. The watchdog notices within ~timeout/4 of the
+// deadline and cancels the job's context; the worker then converts the
+// cancellation into a robust.ErrDeadline verdict, which is transient,
+// so the job gets its remaining attempts before failing with a
+// forensic event.
+type watchdog struct {
+	timeout time.Duration
+	now     func() time.Time // swappable for tests
+	last    atomic.Int64     // unix nanos of the most recent heartbeat
+	stalled atomic.Bool
+}
+
+func newWatchdog(timeout time.Duration) *watchdog {
+	w := &watchdog{timeout: timeout, now: time.Now}
+	w.touch()
+	return w
+}
+
+// touch records a sign of life. Called from the job's hot telemetry
+// path, so it is one atomic store.
+func (w *watchdog) touch() { w.last.Store(w.now().UnixNano()) }
+
+// Stalled reports whether the watchdog has killed the job.
+func (w *watchdog) Stalled() bool { return w.stalled.Load() }
+
+// run polls the heartbeat until the job ends (stop is called or ctx is
+// done) and calls kill exactly once when the heartbeat goes stale.
+func (w *watchdog) run(ctx context.Context, kill func()) (stop func()) {
+	done := make(chan struct{})
+	interval := w.timeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				idle := w.now().Sub(time.Unix(0, w.last.Load()))
+				if idle > w.timeout && w.stalled.CompareAndSwap(false, true) {
+					kill()
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}
