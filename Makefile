@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check serve-smoke chaos-smoke bench bench-compare
+.PHONY: build vet test race check metrics-lint serve-smoke chaos-smoke bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: vet plus the full test suite under the race
-# detector (the campaign engine's worker pool and the serving daemon's
-# job queue must stay race-clean; `race` covers internal/serve too).
-check: build vet race
+# metrics-lint holds every metric name to the unit-suffix convention
+# (or an explicit allowlist entry) and to the DESIGN.md 4.11 inventory.
+metrics-lint:
+	./scripts/metrics-lint.sh
+
+# check is the CI gate: vet plus metric-name hygiene plus the full
+# test suite under the race detector (the campaign engine's worker
+# pool and the serving daemon's job queue must stay race-clean; `race`
+# covers internal/serve too).
+check: build vet metrics-lint race
 
 # serve-smoke boots a real swarmfuzzd on an ephemeral port, submits a
 # tiny fuzz job through the CLI client, and asserts it finishes with a
@@ -44,6 +50,8 @@ bench:
 	BENCH_OUT=$(CURDIR)/BENCH_telemetry.json BENCH_BASELINE=$(CURDIR)/BENCH_baseline.json $(GO) test -bench=. -benchtime=1x -run=^$$ .
 	rm -f $(CURDIR)/BENCH_hotpath.json
 	BENCH_HOTPATH=$(CURDIR)/BENCH_hotpath.json $(GO) test -bench='^(BenchmarkSimStep|BenchmarkSeedSearch)$$' -benchtime=1x -run=^$$ .
+	rm -f $(CURDIR)/BENCH_obs.json
+	BENCH_OBS=$(CURDIR)/BENCH_obs.json $(GO) test -bench='^BenchmarkStatsSnapshot$$' -benchtime=1x -run=^$$ .
 	$(GO) test -race ./internal/telemetry/...
 
 # bench-compare measures the hot path afresh and diffs it against the
@@ -54,3 +62,8 @@ bench-compare:
 	rm -f $(CURDIR)/BENCH_hotpath.new.json
 	BENCH_HOTPATH=$(CURDIR)/BENCH_hotpath.new.json $(GO) test -bench='^(BenchmarkSimStep|BenchmarkSeedSearch)$$' -benchtime=1x -run=^$$ .
 	$(GO) run ./tools/benchcompare -old $(CURDIR)/BENCH_hotpath.json -new $(CURDIR)/BENCH_hotpath.new.json -max-regression 0.20
+	rm -f $(CURDIR)/BENCH_obs.new.json
+	BENCH_OBS=$(CURDIR)/BENCH_obs.new.json $(GO) test -bench='^BenchmarkStatsSnapshot$$' -benchtime=1x -run=^$$ .
+	# The stats snapshot is measured under deliberate writer
+	# contention, so its run-to-run band is wider than the sim step's.
+	$(GO) run ./tools/benchcompare -old $(CURDIR)/BENCH_obs.json -new $(CURDIR)/BENCH_obs.new.json -max-regression 0.50

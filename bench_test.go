@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"testing"
@@ -458,6 +459,14 @@ func hotpathRecord(b *testing.B, key string, metrics map[string]float64) {
 	if out == "" {
 		return
 	}
+	benchRecord(b, out, key, metrics)
+}
+
+// benchRecord merges one measurement into an explicit JSON file; the
+// shared writer behind hotpathRecord (BENCH_HOTPATH) and the
+// observability benchmark (BENCH_OBS).
+func benchRecord(b *testing.B, out, key string, metrics map[string]float64) {
+	b.Helper()
 	doc := map[string]map[string]float64{}
 	if data, err := os.ReadFile(out); err == nil {
 		_ = json.Unmarshal(data, &doc)
@@ -585,4 +594,97 @@ func BenchmarkSeedSearch(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkStatsSnapshot measures what one GET /v1/stats costs the
+// daemon: a full registry snapshot plus percentile derivation over
+// every latency histogram, taken while writer goroutines hammer the
+// same registry — the contention profile of a dashboard polling a
+// busy fleet. With BENCH_OBS set it records a fixed-work ns/snapshot
+// figure into the named file for the bench-compare gate.
+func BenchmarkStatsSnapshot(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	latency := []string{
+		"serve_queue_wait_seconds", "serve_job_wall_seconds",
+		"serve_job_fuzz_wall_seconds", "serve_job_campaign_wall_seconds",
+		"serve_job_grid_wall_seconds",
+	}
+	bounds := []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300}
+	for _, name := range latency {
+		h := reg.Histogram(name, bounds...)
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i%137) * 0.01)
+		}
+	}
+	counters := []string{
+		"serve_job_attempts_total", "serve_job_retries_total",
+		"sim_runs", "sim_steps", "missions_done", "seeds_cracked",
+	}
+	for _, name := range counters {
+		reg.Counter(name).Add(1000)
+	}
+	reg.Gauge("serve_queue_depth").Set(12)
+
+	// Concurrent writers keep the registry contended for the whole
+	// measurement, as live jobs would.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := reg.Histogram(latency[w%len(latency)], bounds...)
+			c := reg.Counter(counters[w%len(counters)])
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(float64(i%97) * 0.003)
+					c.Add(1)
+				}
+			}
+		}(w)
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	snapshotOnce := func() float64 {
+		snap := reg.Snapshot()
+		var sink float64
+		for _, name := range latency {
+			h := snap.Histograms[name]
+			sink += h.Quantile(0.50) + h.Quantile(0.90) + h.Quantile(0.99)
+		}
+		return sink
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += snapshotOnce()
+	}
+	b.StopTimer()
+	if sink < 0 {
+		b.Fatal("impossible: negative quantile sum")
+	}
+
+	out := os.Getenv("BENCH_OBS")
+	if out == "" {
+		return
+	}
+	// Fixed-work measurement: 5k snapshots averaged, so the recorded
+	// figure is stable even under -benchtime=1x.
+	const snaps = 5000
+	t0 := time.Now()
+	for i := 0; i < snaps; i++ {
+		sink += snapshotOnce()
+	}
+	elapsed := time.Since(t0)
+	benchRecord(b, out, "stats_snapshot", map[string]float64{
+		"ns_per_snapshot": float64(elapsed.Nanoseconds()) / snaps,
+	})
 }

@@ -12,6 +12,9 @@
 //	swarmfuzzd status -addr 127.0.0.1:7077 [job-id]
 //	swarmfuzzd wait   -addr 127.0.0.1:7077 job-id
 //	swarmfuzzd cancel -addr 127.0.0.1:7077 job-id
+//	swarmfuzzd stats  -addr 127.0.0.1:7077 [job-id]
+//	swarmfuzzd trace  -addr 127.0.0.1:7077 job-id
+//	swarmfuzzd top    -addr 127.0.0.1:7077 -interval 2s
 //
 // The daemon serves the job API, /healthz, /readyz and the shared
 // telemetry endpoints (/metrics, /metrics.json, /debug/pprof/) on one
@@ -65,11 +68,17 @@ func main() {
 		err = runWait(ctx, args)
 	case "cancel":
 		err = runCancel(ctx, args)
+	case "stats":
+		err = runStats(ctx, args)
+	case "trace":
+		err = runTrace(ctx, args)
+	case "top":
+		err = runTop(ctx, args)
 	case "help", "-h", "--help":
-		fmt.Println("usage: swarmfuzzd serve|submit|status|wait|cancel [flags]")
+		fmt.Println("usage: swarmfuzzd serve|submit|status|wait|cancel|stats|trace|top [flags]")
 		return
 	default:
-		err = fmt.Errorf("unknown subcommand %q (want serve|submit|status|wait|cancel)", cmd)
+		err = fmt.Errorf("unknown subcommand %q (want serve|submit|status|wait|cancel|stats|trace|top)", cmd)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"swarmfuzz/internal/serve"
+	"swarmfuzz/internal/serve/client"
+	"swarmfuzz/internal/telemetry"
+)
+
+// runStats prints the fleet aggregate snapshot — or, with a job id
+// argument, that job's progress snapshot — as indented JSON.
+func runStats(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("swarmfuzzd stats", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := client.New(*addr)
+	var doc any
+	var err error
+	if id := fs.Arg(0); id != "" {
+		doc, err = c.JobStats(ctx, id)
+	} else {
+		doc, err = c.Stats(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// runTrace fetches a job's span tree, verifies its integrity — a
+// non-empty trace whose single root is the engine's "job" span, with
+// every other span parented inside the tree and every span stamped
+// with the job's trace id — and renders it as an indented tree. Any
+// integrity failure is a non-zero exit, which is what lets the smoke
+// test assert the stitching end to end.
+func runTrace(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("swarmfuzzd trace", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	raw := fs.Bool("raw", false, "print the raw JSONL spans instead of the tree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return errors.New("trace: need a job id")
+	}
+	spans, err := client.New(*addr).Trace(ctx, id)
+	if err != nil {
+		return err
+	}
+	if err := verifyTrace(id, spans); err != nil {
+		return fmt.Errorf("trace %s: %w", id, err)
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		for _, s := range spans {
+			if err := enc.Encode(s); err != nil {
+				return err
+			}
+		}
+	} else {
+		printTree(spans)
+	}
+	fmt.Printf("trace %s: ok, %d spans, root %q\n", id, len(spans), rootName(spans))
+	return nil
+}
+
+// verifyTrace checks the stitched tree's invariants.
+func verifyTrace(id string, spans []telemetry.SpanEvent) error {
+	if len(spans) == 0 {
+		return errors.New("empty trace")
+	}
+	byID := make(map[uint64]telemetry.SpanEvent, len(spans))
+	for _, s := range spans {
+		if s.Trace != id {
+			return fmt.Errorf("span %d carries trace id %q, want %q", s.ID, s.Trace, id)
+		}
+		byID[s.ID] = s
+	}
+	roots := 0
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots++
+			if s.Name != "job" {
+				return fmt.Errorf("root span is %q, want \"job\"", s.Name)
+			}
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			return fmt.Errorf("span %d (%s) parents into missing span %d", s.ID, s.Name, s.Parent)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("%d root spans, want exactly 1", roots)
+	}
+	return nil
+}
+
+func rootName(spans []telemetry.SpanEvent) string {
+	for _, s := range spans {
+		if s.Parent == 0 {
+			return s.Name
+		}
+	}
+	return ""
+}
+
+// printTree renders the span tree depth-first, children in start
+// order, with per-span durations.
+func printTree(spans []telemetry.SpanEvent) {
+	children := map[uint64][]telemetry.SpanEvent{}
+	for _, s := range spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].StartUS < kids[j].StartUS })
+	}
+	var walk func(id uint64, depth int)
+	walk = func(id uint64, depth int) {
+		for _, s := range children[id] {
+			fmt.Printf("%s%s  %.3fms  span=%d\n",
+				strings.Repeat("  ", depth), s.Name, float64(s.DurUS)/1000, s.ID)
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+}
+
+// runTop renders the stats feed as a refreshing terminal table — the
+// dashboard for people who live in a shell.
+func runTop(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("swarmfuzzd top", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	once := fs.Bool("once", false, "print a single frame and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := client.New(*addr)
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		frame := renderTop(*addr, st)
+		if *once {
+			fmt.Print(frame)
+			return nil
+		}
+		// Clear screen + home, then the frame: a cheap full redraw.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		}
+	}
+}
+
+// renderTop formats one FleetStats frame.
+func renderTop(addr string, st serve.FleetStats) string {
+	var b strings.Builder
+	state := "accepting"
+	if st.Draining {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(&b, "swarmfuzzd %s — %s — %s\n\n",
+		addr, state, time.Unix(st.TimeUnix, 0).Format("15:04:05"))
+	fmt.Fprintf(&b, "queue %d   workers %d   attempts %d   retries %d   watchdog kills %d   io-degraded %d\n\n",
+		st.QueueDepth, st.Workers, st.AttemptsTotal, st.RetriesTotal,
+		st.WatchdogKillsTotal, st.IODegradedTotal)
+
+	fmt.Fprintf(&b, "%-14s %8s\n", "JOBS", "COUNT")
+	for _, k := range sortedKeys(st.JobsByState) {
+		fmt.Fprintf(&b, "%-14s %8d\n", k, st.JobsByState[k])
+	}
+	for _, k := range sortedKeys(st.JobsByKind) {
+		fmt.Fprintf(&b, "%-14s %8d\n", "kind/"+k, st.JobsByKind[k])
+	}
+
+	fmt.Fprintf(&b, "\n%-16s %8s %10s %10s %10s\n", "LATENCY", "COUNT", "P50", "P90", "P99")
+	row := func(name string, s serve.LatencySummary) {
+		fmt.Fprintf(&b, "%-16s %8d %9.3fs %9.3fs %9.3fs\n", name, s.Count, s.P50, s.P90, s.P99)
+	}
+	row("queue wait", st.QueueWait)
+	row("job wall", st.JobWall)
+	for _, k := range sortedKeys(st.JobWallByKind) {
+		row("wall/"+k, st.JobWallByKind[k])
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -159,6 +159,7 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 		}
 		if finding != nil {
 			rec.Add(telemetry.MSeedsCracked, 1)
+			rec.Set(telemetry.MBestObjective, finding.Objective)
 			rep.Found = true
 			rep.Findings = append(rep.Findings, *finding)
 			recordWitness(in, *finding, opts, rec)

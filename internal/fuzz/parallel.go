@@ -181,6 +181,7 @@ func parallelSeedWalk(in Input, opts Options, search searchFn, searchStage strin
 		}
 		if out.finding != nil {
 			rec.Add(telemetry.MSeedsCracked, 1)
+			rec.Set(telemetry.MBestObjective, out.finding.Objective)
 			rep.Found = true
 			rep.Findings = append(rep.Findings, *out.finding)
 			recordWitness(in, *out.finding, opts, rec)

@@ -22,6 +22,7 @@ import (
 
 	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/serve"
+	"swarmfuzz/internal/telemetry"
 )
 
 // Client calls one swarmfuzzd instance.
@@ -218,6 +219,29 @@ func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
 	var raw []byte
 	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report", nil, &raw)
 	return raw, err
+}
+
+// Stats returns the daemon's fleet aggregate snapshot.
+func (c *Client) Stats(ctx context.Context) (serve.FleetStats, error) {
+	var st serve.FleetStats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// JobStats returns one job's progress snapshot.
+func (c *Client) JobStats(ctx context.Context, id string) (serve.JobProgress, error) {
+	var p serve.JobProgress
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/stats", nil, &p)
+	return p, err
+}
+
+// Trace returns one job's stitched span tree, in completion order.
+func (c *Client) Trace(ctx context.Context, id string) ([]telemetry.SpanEvent, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &raw); err != nil {
+		return nil, err
+	}
+	return telemetry.ReadSpans(bytes.NewReader(raw))
 }
 
 // Cancel asks the daemon to stop a queued or running job.

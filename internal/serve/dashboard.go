@@ -1,0 +1,234 @@
+package serve
+
+// dashboardHTML is the live ops page served at /debug/dashboard. It is
+// deliberately self-contained — inline CSS and JS, no external assets,
+// no build step — so it works on an air-gapped bench host the same as
+// anywhere else. Data arrives over the /v1/stats/events SSE feed (the
+// browser's EventSource reconnects on its own), and everything renders
+// from one FleetStats document per tick: stat tiles, a queue-depth
+// sparkline over the last two minutes, queue-wait / job-wall
+// percentile tiles, and jobs-by-kind bars.
+//
+// Visual language: light and dark palettes via CSS custom properties
+// (the OS setting picks, a data-theme attribute can force); numbers
+// and labels always wear ink tokens, never the series color; the
+// single data hue is the series-1 blue; status (connection state) uses
+// the reserved status palette with an icon + label, never color alone.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>swarmfuzzd &middot; fleet dashboard</title>
+<style>
+:root {
+  color-scheme: light;
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --gridline:       #e1e0d9;
+  --baseline:       #c3c2b7;
+  --border:         rgba(11,11,11,0.10);
+  --series-1:       #2a78d6;
+  --status-good:    #0ca30c;
+  --status-critical:#d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:not([data-theme="light"]) {
+    color-scheme: dark;
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --gridline:       #2c2c2a;
+    --baseline:       #383835;
+    --border:         rgba(255,255,255,0.10);
+    --series-1:       #3987e5;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --page:           #0d0d0d;
+  --surface-1:      #1a1a19;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted:     #898781;
+  --gridline:       #2c2c2a;
+  --baseline:       #383835;
+  --border:         rgba(255,255,255,0.10);
+  --series-1:       #3987e5;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header { display: flex; align-items: baseline; gap: 12px; margin-bottom: 20px; }
+header h1 { font-size: 18px; font-weight: 600; margin: 0; }
+header .sub { color: var(--text-muted); font-size: 13px; }
+#conn { margin-left: auto; font-size: 13px; color: var(--text-secondary); }
+#conn .dot { display: inline-block; width: 8px; height: 8px; border-radius: 50%;
+  margin-right: 6px; background: var(--status-critical); vertical-align: baseline; }
+#conn.live .dot { background: var(--status-good); }
+.grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(180px, 1fr)); gap: 12px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px;
+}
+.tile .label { color: var(--text-secondary); font-size: 12px; letter-spacing: .02em; }
+.tile .value { font-size: 28px; font-weight: 600; margin-top: 2px; }
+.tile .hint  { color: var(--text-muted); font-size: 12px; margin-top: 2px; }
+section { margin-top: 24px; }
+section h2 { font-size: 13px; font-weight: 600; color: var(--text-secondary);
+  text-transform: uppercase; letter-spacing: .05em; margin: 0 0 10px; }
+.wide { grid-column: 1 / -1; }
+svg text { fill: var(--text-muted); font: 11px system-ui, sans-serif; }
+.spark path { fill: none; stroke: var(--series-1); stroke-width: 2; stroke-linejoin: round; }
+.spark line.base { stroke: var(--baseline); stroke-width: 1; }
+.bars .row { display: grid; grid-template-columns: 90px 1fr 60px; align-items: center;
+  gap: 10px; padding: 5px 0; }
+.bars .name { color: var(--text-secondary); font-size: 13px; }
+.bars .track { position: relative; height: 16px; }
+.bars .fill { position: absolute; inset: 0 auto 0 0; min-width: 2px;
+  background: var(--series-1); border-radius: 0 4px 4px 0; height: 16px; }
+.bars .num { font-size: 13px; text-align: right; font-variant-numeric: tabular-nums; }
+table.lat { width: 100%; border-collapse: collapse; font-size: 13px; }
+table.lat th { text-align: left; color: var(--text-muted); font-weight: 500;
+  border-bottom: 1px solid var(--gridline); padding: 4px 8px 6px 0; }
+table.lat td { padding: 6px 8px 4px 0; font-variant-numeric: tabular-nums;
+  border-bottom: 1px solid var(--gridline); }
+table.lat td.name { color: var(--text-secondary); font-variant-numeric: normal; }
+footer { margin-top: 24px; color: var(--text-muted); font-size: 12px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>swarmfuzzd</h1>
+  <span class="sub">fleet dashboard</span>
+  <span id="conn"><span class="dot"></span><span id="connText">connecting&hellip;</span></span>
+</header>
+
+<div class="grid" id="tiles">
+  <div class="card tile"><div class="label">Queue depth</div><div class="value" id="t-queue">&ndash;</div><div class="hint" id="t-workers"></div></div>
+  <div class="card tile"><div class="label">Running</div><div class="value" id="t-running">&ndash;</div></div>
+  <div class="card tile"><div class="label">Done</div><div class="value" id="t-done">&ndash;</div></div>
+  <div class="card tile"><div class="label">Failed</div><div class="value" id="t-failed">&ndash;</div></div>
+  <div class="card tile"><div class="label">Attempts</div><div class="value" id="t-attempts">&ndash;</div><div class="hint" id="t-retries"></div></div>
+  <div class="card tile"><div class="label">Watchdog kills</div><div class="value" id="t-watchdog">&ndash;</div><div class="hint" id="t-degraded"></div></div>
+</div>
+
+<section>
+  <h2>Queue depth &middot; last 2 minutes</h2>
+  <div class="card wide spark">
+    <svg id="sparkline" width="100%" height="72" viewBox="0 0 600 72" preserveAspectRatio="none" role="img" aria-label="Queue depth over time">
+      <line class="base" x1="0" y1="70" x2="600" y2="70"></line>
+      <path id="sparkpath" d=""></path>
+    </svg>
+  </div>
+</section>
+
+<section>
+  <h2>Latency percentiles</h2>
+  <div class="card wide">
+    <table class="lat">
+      <thead><tr><th>Histogram</th><th>Count</th><th>p50</th><th>p90</th><th>p99</th></tr></thead>
+      <tbody id="latbody"><tr><td class="name">queue wait</td><td>&ndash;</td><td>&ndash;</td><td>&ndash;</td><td>&ndash;</td></tr></tbody>
+    </table>
+  </div>
+</section>
+
+<section>
+  <h2>Jobs by kind</h2>
+  <div class="card wide bars" id="kindbars"></div>
+</section>
+
+<footer>Feed: <code>/v1/stats/events</code> &middot; snapshot: <code>/v1/stats</code> &middot; metrics: <code>/metrics</code></footer>
+
+<script>
+(function () {
+  "use strict";
+  var hist = [];            // queue-depth samples, newest last
+  var HIST_MAX = 120;       // ~2 min at the 1s default tick
+
+  function txt(id, v) { document.getElementById(id).textContent = v; }
+  function fmtSec(s) {
+    if (s >= 10) return s.toFixed(1) + "s";
+    if (s >= 1) return s.toFixed(2) + "s";
+    return (s * 1000).toFixed(0) + "ms";
+  }
+
+  function drawSpark() {
+    var w = 600, h = 72, pad = 2, base = 70;
+    var max = 1;
+    for (var i = 0; i < hist.length; i++) if (hist[i] > max) max = hist[i];
+    var d = "";
+    for (var k = 0; k < hist.length; k++) {
+      var x = hist.length < 2 ? w : (k / (HIST_MAX - 1)) * w;
+      var y = base - (hist[k] / max) * (base - pad - 8);
+      d += (k === 0 ? "M" : "L") + x.toFixed(1) + " " + y.toFixed(1);
+    }
+    document.getElementById("sparkpath").setAttribute("d", d);
+  }
+
+  function latRow(name, s) {
+    return "<tr><td class=\"name\">" + name + "</td><td>" + s.count +
+      "</td><td>" + fmtSec(s.p50_seconds) + "</td><td>" + fmtSec(s.p90_seconds) +
+      "</td><td>" + fmtSec(s.p99_seconds) + "</td></tr>";
+  }
+
+  function render(st) {
+    var byState = st.jobs_by_state || {};
+    txt("t-queue", st.queue_depth);
+    txt("t-workers", st.workers + " workers" + (st.draining ? " · draining" : ""));
+    txt("t-running", byState.running || 0);
+    txt("t-done", byState.done || 0);
+    txt("t-failed", byState.failed || 0);
+    txt("t-attempts", st.attempts_total);
+    txt("t-retries", st.retries_total + " retries");
+    txt("t-watchdog", st.watchdog_kills_total);
+    txt("t-degraded", st.io_degraded_total + " io-degraded · " + st.faults_injected_total + " faults");
+
+    hist.push(st.queue_depth);
+    if (hist.length > HIST_MAX) hist.shift();
+    drawSpark();
+
+    var rows = latRow("queue wait", st.queue_wait) + latRow("job wall", st.job_wall);
+    var byKindLat = st.job_wall_by_kind || {};
+    Object.keys(byKindLat).sort().forEach(function (k) {
+      rows += latRow("wall · " + k, byKindLat[k]);
+    });
+    document.getElementById("latbody").innerHTML = rows;
+
+    var byKind = st.jobs_by_kind || {};
+    var kinds = Object.keys(byKind).sort();
+    var maxK = 1;
+    kinds.forEach(function (k) { if (byKind[k] > maxK) maxK = byKind[k]; });
+    var html = "";
+    kinds.forEach(function (k) {
+      var pct = (byKind[k] / maxK) * 100;
+      html += "<div class=\"row\"><span class=\"name\">" + k +
+        "</span><span class=\"track\"><span class=\"fill\" style=\"width:" + pct.toFixed(1) +
+        "%\"></span></span><span class=\"num\">" + byKind[k] + "</span></div>";
+    });
+    document.getElementById("kindbars").innerHTML = html || "<span class=\"name\">no jobs yet</span>";
+  }
+
+  var es = new EventSource("/v1/stats/events");
+  es.addEventListener("stats", function (ev) {
+    document.getElementById("conn").classList.add("live");
+    txt("connText", "live");
+    try { render(JSON.parse(ev.data)); } catch (e) { /* skip a torn frame */ }
+  });
+  es.onerror = function () {
+    document.getElementById("conn").classList.remove("live");
+    txt("connText", "reconnecting…");
+  };
+})();
+</script>
+</body>
+</html>
+`

@@ -33,6 +33,14 @@ const (
 	MJobsCancelled = "serve_jobs_cancelled"
 	// MJobWallSeconds is the per-job wall-time histogram.
 	MJobWallSeconds = "serve_job_wall_seconds"
+	// MQueueWaitSeconds is the submit-to-dequeue latency histogram —
+	// with MJobWallSeconds, the daemon's RED duration pair.
+	MQueueWaitSeconds = "serve_queue_wait_seconds"
+	// MJobAttempts counts job execution attempts (first runs and
+	// retries alike).
+	MJobAttempts = "serve_job_attempts_total"
+	// MJobRetries counts re-queues after transient failures.
+	MJobRetries = "serve_job_retries_total"
 	// MFaultsInjected counts chaos faults fired into the store and
 	// engine hook points (chaos.MFaultsInjected, re-exported so the
 	// daemon's metric names live in one place).
@@ -55,6 +63,37 @@ const (
 // the first scrape — an operator greps for them, not for their absence.
 var robustnessCounters = []string{
 	MFaultsInjected, MStoreQuarantined, MIODegraded, MWatchdogKills, MJobsGCed,
+	MJobAttempts, MJobRetries,
+}
+
+// jobWallMetric names the per-kind wall-time histogram. Kind is one of
+// the three validated JobSpec kinds, so the expansion set is closed:
+// serve_job_{fuzz,campaign,grid}_wall_seconds.
+func jobWallMetric(kind string) string { return "serve_job_" + kind + "_wall_seconds" }
+
+func init() {
+	for name, help := range map[string]string{
+		MQueueDepth:                 "Jobs waiting in the FIFO queue.",
+		MJobsQueued:                 "Jobs currently queued.",
+		MJobsRunning:                "Jobs currently executing.",
+		MJobsDone:                   "Jobs finished successfully.",
+		MJobsFailed:                 "Jobs finished in failure.",
+		MJobsCancelled:              "Jobs cancelled by request.",
+		MJobWallSeconds:             "Per-attempt job wall time, all kinds.",
+		MQueueWaitSeconds:           "Submit-to-dequeue queue wait.",
+		MJobAttempts:                "Job execution attempts, first runs and retries alike.",
+		MJobRetries:                 "Job re-queues after transient failures.",
+		MFaultsInjected:             "Chaos faults fired into the store and engine.",
+		MStoreQuarantined:           "Corrupt job directories quarantined at startup.",
+		MIODegraded:                 "Store writes that failed even after retries.",
+		MWatchdogKills:              "Job attempts killed by the stall watchdog.",
+		MJobsGCed:                   "Terminal jobs swept by TTL garbage collection.",
+		jobWallMetric(KindFuzz):     "Job wall time, fuzz jobs.",
+		jobWallMetric(KindCampaign): "Job wall time, campaign jobs.",
+		jobWallMetric(KindGrid):     "Job wall time, grid jobs.",
+	} {
+		telemetry.RegisterHelp(name, help)
+	}
 }
 
 // Errors the engine maps to HTTP statuses.
@@ -111,6 +150,11 @@ type Options struct {
 	// Telemetry receives engine gauges and every job's pipeline
 	// counters; nil disables recording.
 	Telemetry telemetry.Recorder
+	// Clock is the engine's time source (default time.Now). Tests
+	// inject telemetry.FakeClock here: with one worker, every
+	// timestamp, queue-wait and wall-time observation — and therefore
+	// the stats API — is deterministic.
+	Clock func() time.Time
 	// Log receives the engine's progress lines; nil is silent.
 	Log *telemetry.Logger
 }
@@ -124,6 +168,9 @@ type job struct {
 	cancel    context.CancelFunc // non-nil while running
 	cancelled bool               // DELETE requested
 	report    []byte             // in-memory fallback when report.json could not persist
+	enqueued  time.Time          // last enqueue, for the queue-wait histogram
+	queueWait float64            // seconds the last attempt waited before dequeue
+	rec       *jobRecorder       // latest attempt's recorder; survives settle for /stats
 }
 
 // Engine owns the job queue, the worker pool and the store. Create it
@@ -165,6 +212,9 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	if opts.GCInterval <= 0 {
 		opts.GCInterval = time.Minute
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
 	}
 	rec := telemetry.OrNop(opts.Telemetry)
 	fsys := opts.FS
@@ -243,6 +293,7 @@ func (e *Engine) reload() error {
 		j := &job{spec: spec, status: st, hub: h}
 		switch st.State {
 		case StateQueued:
+			j.enqueued = e.opts.Clock()
 			e.queue = append(e.queue, id)
 		case StateRunning:
 			// The previous daemon died mid-job: back to the queue. The
@@ -254,6 +305,7 @@ func (e *Engine) reload() error {
 				e.log.Warnf("job %s: persist re-queue: %v (will re-queue again next restart)", id, err)
 			}
 			h.publish("state", func(ev *Event) { ev.State = StateQueued })
+			j.enqueued = e.opts.Clock()
 			e.queue = append(e.queue, id)
 			e.log.Infof("job %s: interrupted by restart, re-queued (restart %d)", id, j.status.Restarts)
 		default:
@@ -312,7 +364,7 @@ func (e *Engine) gcLoop() {
 		case <-e.baseCtx.Done():
 			return
 		case <-t.C:
-			e.gcSweep(time.Now())
+			e.gcSweep(e.opts.Clock())
 		}
 	}
 }
@@ -422,9 +474,10 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	id := FormatID(e.nextID)
 	e.nextID++
+	now := e.opts.Clock()
 	st := JobStatus{
 		ID: id, Kind: spec.Kind, Fuzzer: spec.Fuzzer, SpecHash: spec.Hash(),
-		State: StateQueued, CreatedUnix: time.Now().Unix(),
+		State: StateQueued, CreatedUnix: now.Unix(),
 	}
 	if err := e.store.WriteSpec(id, spec); err != nil {
 		e.mu.Unlock()
@@ -434,7 +487,7 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 		e.mu.Unlock()
 		return JobStatus{}, err
 	}
-	j := &job{spec: spec, status: st, hub: newHub(id, 0, e.store, e.log)}
+	j := &job{spec: spec, status: st, hub: newHub(id, 0, e.store, e.log), enqueued: now}
 	e.jobs[id] = j
 	if key := spec.IdempotencyKey; key != "" {
 		e.byKey[key] = id
@@ -541,7 +594,7 @@ func (e *Engine) Cancel(id string) (JobStatus, error) {
 	case StateQueued:
 		j.cancelled = true
 		j.status.State = StateCancelled
-		j.status.FinishedUnix = time.Now().Unix()
+		j.status.FinishedUnix = e.opts.Clock().Unix()
 		st := j.status
 		if err := e.store.WriteStatus(st); err != nil {
 			e.mu.Unlock()
@@ -639,8 +692,14 @@ func (e *Engine) worker() {
 		ctx, cancel := context.WithCancel(e.baseCtx)
 		j.cancel = cancel
 		j.status.State = StateRunning
-		j.status.StartedUnix = time.Now().Unix()
+		now := e.opts.Clock()
+		j.status.StartedUnix = now.Unix()
 		j.status.Attempts++
+		if !j.enqueued.IsZero() {
+			j.queueWait = now.Sub(j.enqueued).Seconds()
+			e.rec.Observe(MQueueWaitSeconds, j.queueWait)
+		}
+		e.rec.Add(MJobAttempts, 1)
 		st := j.status
 		if err := e.store.WriteStatus(st); err != nil {
 			e.log.Errorf("job %s: persist status: %v", id, err)
@@ -650,10 +709,41 @@ func (e *Engine) worker() {
 
 		j.hub.publish("state", func(ev *Event) { ev.State = StateRunning })
 		e.log.Infof("job %s: running (attempt %d)", id, st.Attempts)
-		start := time.Now()
+		start := e.opts.Clock()
 		report, err := e.executeWatched(ctx, cancel, id, j)
 		cancel()
-		e.settle(id, j, report, err, time.Since(start))
+		e.settle(id, j, report, err, e.opts.Clock().Sub(start))
+	}
+}
+
+// startTrace wires a per-job span tracer writing to the store's
+// trace.jsonl. Every span carries the job id as its trace ID, and span
+// IDs continue past whatever an earlier attempt left in the file, so a
+// retried job appends to one coherent trace instead of colliding with
+// its own history. A trace that cannot open degrades to no tracing —
+// observability never fails a job.
+func (e *Engine) startTrace(id string) (*telemetry.Telemetry, func()) {
+	base := uint64(0)
+	if spans, err := e.store.ReadTrace(id); err == nil {
+		for _, s := range spans {
+			if s.ID > base {
+				base = s.ID
+			}
+		}
+	}
+	w, err := e.store.OpenTrace(id)
+	if err != nil {
+		e.log.Warnf("job %s: open trace: %v (spans not recorded this attempt)", id, err)
+		return nil, func() {}
+	}
+	tr := telemetry.New(telemetry.NewRegistry(), w)
+	tr.SetClock(e.opts.Clock)
+	tr.SetTraceID(id)
+	tr.SetSpanBase(base)
+	return tr, func() {
+		if cerr := w.Close(); cerr != nil {
+			e.log.Warnf("job %s: close trace: %v", id, cerr)
+		}
 	}
 }
 
@@ -663,6 +753,12 @@ func (e *Engine) worker() {
 func (e *Engine) executeWatched(ctx context.Context, cancel context.CancelFunc, id string, j *job) ([]byte, error) {
 	rec := newJobRecorder(e.rec, j.hub)
 	rec.chaos = e.opts.Chaos
+	tracer, closeTrace := e.startTrace(id)
+	defer closeTrace()
+	rec.tracer = tracer
+	e.mu.Lock()
+	j.rec = rec
+	e.mu.Unlock()
 	var wd *watchdog
 	if e.opts.StallTimeout > 0 {
 		wd = newWatchdog(e.opts.StallTimeout)
@@ -694,6 +790,7 @@ func (e *Engine) settle(id string, j *job, report []byte, err error, wall time.D
 	j.cancel = nil
 	j.status.WallSeconds = wall.Seconds()
 	e.rec.Observe(MJobWallSeconds, wall.Seconds())
+	e.rec.Observe(jobWallMetric(j.spec.Kind), wall.Seconds())
 
 	var state State
 	var requeue bool
@@ -711,13 +808,14 @@ func (e *Engine) settle(id string, j *job, report []byte, err error, wall time.D
 	case robust.IsTransient(err) && j.status.Attempts < e.opts.JobAttempts:
 		state = StateQueued
 		requeue = true
+		e.rec.Add(MJobRetries, 1)
 	default:
 		state = StateFailed
 		j.status.Error = err.Error()
 	}
 	j.status.State = state
 	if state.Terminal() {
-		j.status.FinishedUnix = time.Now().Unix()
+		j.status.FinishedUnix = e.opts.Clock().Unix()
 	}
 	var degraded bool
 	if state == StateDone {
@@ -735,6 +833,7 @@ func (e *Engine) settle(id string, j *job, report []byte, err error, wall time.D
 		e.log.Errorf("job %s: persist status: %v", id, werr)
 	}
 	if requeue && !e.draining {
+		j.enqueued = e.opts.Clock()
 		e.queue = append(e.queue, id)
 		e.cond.Signal()
 	}

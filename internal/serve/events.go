@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swarmfuzz/internal/chaos"
@@ -155,16 +156,42 @@ var progressTriggers = map[string]bool{
 // to prove the watchdog notices.
 type jobRecorder struct {
 	telemetry.Recorder
-	hub   *hub
-	beat  func()          // watchdog heartbeat; nil when the watchdog is off
-	chaos *chaos.Injector // stall hook points; nil when chaos is off
+	hub    *hub
+	beat   func()               // watchdog heartbeat; nil when the watchdog is off
+	chaos  *chaos.Injector      // stall hook points; nil when chaos is off
+	tracer *telemetry.Telemetry // per-job span stream; nil disables tracing
+	root   atomic.Uint64        // the job root span's ID, once started
 
 	mu     sync.Mutex
 	counts map[string]int64
+	gauges map[string]float64
 }
 
 func newJobRecorder(parent telemetry.Recorder, h *hub) *jobRecorder {
-	return &jobRecorder{Recorder: telemetry.OrNop(parent), hub: h, counts: map[string]int64{}}
+	return &jobRecorder{
+		Recorder: telemetry.OrNop(parent),
+		hub:      h,
+		counts:   map[string]int64{},
+		gauges:   map[string]float64{},
+	}
+}
+
+// StartSpan implements telemetry.Recorder, routing spans into the
+// job's own trace stream. The first span started (the engine's "job"
+// span) becomes the trace root; later parentless spans — the campaign
+// and checkpoint spans the pipeline starts with parent 0 — are
+// reparented under it, which is what stitches one job's spans into a
+// single tree.
+func (r *jobRecorder) StartSpan(parent telemetry.SpanID, name string, attrs ...telemetry.Attr) telemetry.Span {
+	if r.tracer == nil {
+		return r.Recorder.StartSpan(parent, name, attrs...)
+	}
+	if parent == 0 {
+		parent = telemetry.SpanID(r.root.Load())
+	}
+	span := r.tracer.StartSpan(parent, name, attrs...)
+	r.root.CompareAndSwap(0, uint64(span.ID()))
+	return span
 }
 
 // Add implements telemetry.Recorder.
@@ -186,6 +213,19 @@ func (r *jobRecorder) Add(name string, delta int64) {
 	}
 }
 
+// Set implements telemetry.Recorder, keeping the per-job value — the
+// shared gauge is last-writer-wins across concurrent jobs, so a job's
+// own search-progress gauges (best SPV objective) live here.
+func (r *jobRecorder) Set(name string, v float64) {
+	if r.beat != nil {
+		r.beat()
+	}
+	r.Recorder.Set(name, v)
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
 // Observe implements telemetry.Recorder; histogram samples count as
 // heartbeats too.
 func (r *jobRecorder) Observe(name string, v float64) {
@@ -205,5 +245,27 @@ func (r *jobRecorder) snapshot() map[string]int64 {
 		}
 	}
 	r.mu.Unlock()
+	return out
+}
+
+// allCounters copies every counter the job has incremented.
+func (r *jobRecorder) allCounters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counts))
+	for name, v := range r.counts {
+		out[name] = v
+	}
+	return out
+}
+
+// allGauges copies every gauge the job has set.
+func (r *jobRecorder) allGauges() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for name, v := range r.gauges {
+		out[name] = v
+	}
 	return out
 }

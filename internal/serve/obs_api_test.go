@@ -1,0 +1,384 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"swarmfuzz/internal/experiments"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/serve"
+	"swarmfuzz/internal/serve/client"
+	"swarmfuzz/internal/telemetry"
+)
+
+var updateStats = flag.Bool("update-stats", false, "rewrite the fleet stats golden file")
+
+// newObsDaemon is newTestDaemon with full control over the engine
+// options (clock, worker count) — the observability tests need a
+// deterministic engine, not just a working one.
+func newObsDaemon(t *testing.T, opts serve.Options) (*client.Client, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	opts.Telemetry = telemetry.New(reg, nil)
+	if opts.Store == "" {
+		opts.Store = t.TempDir()
+	}
+	e, err := serve.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+	t.Cleanup(func() { e.Drain(5 * time.Second) })
+	ts := httptest.NewServer(serve.NewServer(e, reg))
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL), reg
+}
+
+// obsCampaignSpec is the fixed workload the determinism tests replay.
+func obsCampaignSpec() serve.JobSpec {
+	return serve.JobSpec{
+		Kind: serve.KindCampaign, Fuzzer: "stub",
+		SwarmSize: 3, SpoofDistance: 10, Missions: 2,
+		MaxIterPerSeed: 2, MaxSeeds: 1, Workers: 1,
+		IdempotencyKey: "ik-stats-golden",
+	}
+}
+
+// TestStatsDeterministicUnderFakeClock runs the identical stub
+// campaign on two fresh daemons driven by the same FakeClock and
+// requires the raw GET /v1/stats bodies to be byte-identical — the
+// property that makes fleet stats golden-testable at all. The first
+// run is additionally pinned against a golden file (regenerate with
+// `go test ./internal/serve -run StatsDeterministic -update-stats`)
+// so encoding drift is caught even when it drifts deterministically.
+func TestStatsDeterministicUnderFakeClock(t *testing.T) {
+	runOnce := func() []byte {
+		clock := &telemetry.FakeClock{T: time.Unix(1_700_000_000, 0), Step: time.Millisecond}
+		c, _ := newObsDaemon(t, serve.Options{
+			Workers: 1,
+			Fuzzers: map[string]fuzz.Fuzzer{"stub": &okFuzzer{}},
+			Clock:   clock.Now,
+		})
+		ctx := context.Background()
+		st, err := c.Submit(ctx, obsCampaignSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := c.Wait(ctx, st.ID)
+		if err != nil || final.State != serve.StateDone {
+			t.Fatalf("Wait = %+v, %v; want done", final, err)
+		}
+		resp, err := http.Get(c.Base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/stats = %d: %s", resp.StatusCode, raw)
+		}
+		return raw
+	}
+
+	first, second := runOnce(), runOnce()
+	if !bytes.Equal(first, second) {
+		t.Errorf("two same-seed runs produced different /v1/stats bodies:\n run1 %s\n run2 %s", first, second)
+	}
+
+	var st serve.FleetStats
+	if err := json.Unmarshal(first, &st); err != nil {
+		t.Fatalf("decode /v1/stats: %v", err)
+	}
+	if st.QueueWait.Count == 0 {
+		t.Error("queue_wait.count = 0; the worker pickup did not observe queue wait")
+	}
+	if st.AttemptsTotal != 1 {
+		t.Errorf("attempts_total = %d, want 1", st.AttemptsTotal)
+	}
+	if st.JobsByState["done"] != 1 || st.JobsByKind["campaign"] != 1 {
+		t.Errorf("jobs_by_state/kind = %v / %v, want one done campaign", st.JobsByState, st.JobsByKind)
+	}
+	if got := st.JobWallByKind["campaign"].Count; got != 1 {
+		t.Errorf("job_wall_by_kind[campaign].count = %d, want 1", got)
+	}
+
+	golden := filepath.Join("testdata", "fleet_stats.golden")
+	if *updateStats {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-stats to regenerate)", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("/v1/stats deviates from golden; run with -update-stats if the schema change is intentional:\n got %s\nwant %s", first, want)
+	}
+}
+
+// TestJobStatsAgreeWithReport pins the per-job progress counters to
+// the persisted report: the two views of one campaign must tell the
+// same story mission for mission.
+func TestJobStatsAgreeWithReport(t *testing.T) {
+	c, _ := newTestDaemon(t, map[string]fuzz.Fuzzer{"stub": &okFuzzer{}})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, obsCampaignSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := c.JobStats(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ID != st.ID || prog.Kind != serve.KindCampaign || prog.State != serve.StateDone {
+		t.Fatalf("JobStats identity = %+v, want done campaign %s", prog, st.ID)
+	}
+	if prog.Attempts != 1 || prog.QueueWaitSeconds < 0 {
+		t.Errorf("attempts=%d queue_wait=%v, want 1 attempt and non-negative wait", prog.Attempts, prog.QueueWaitSeconds)
+	}
+
+	raw, err := c.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cell experiments.CampaignResult
+	if err := json.Unmarshal(raw, &cell); err != nil {
+		t.Fatalf("decode campaign report: %v", err)
+	}
+	cracked := 0
+	for _, o := range cell.Outcomes {
+		if o.Found {
+			cracked++
+		}
+	}
+	if got := prog.Counters[telemetry.MMissionsDone]; got != int64(len(cell.Outcomes)) {
+		t.Errorf("%s = %d, report has %d outcomes", telemetry.MMissionsDone, got, len(cell.Outcomes))
+	}
+	if got := prog.Counters[telemetry.MMissionsCracked]; got != int64(cracked) {
+		t.Errorf("%s = %d, report has %d cracked missions", telemetry.MMissionsCracked, got, cracked)
+	}
+	if got := prog.Counters[telemetry.MMissionsPlanned]; got < int64(len(cell.Outcomes)) {
+		t.Errorf("%s = %d, want >= %d done", telemetry.MMissionsPlanned, got, len(cell.Outcomes))
+	}
+}
+
+// TestJobStatsRealFuzzer checks the search-progress gauges against a
+// real SwarmFuzz run: sim runs, iterations and — when the search
+// cracks the seed — the best-objective gauge must match the report.
+func TestJobStatsRealFuzzer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fuzz run in -short mode")
+	}
+	c, _ := newTestDaemon(t, nil) // built-in fuzzers
+	ctx := context.Background()
+	st, err := c.Submit(ctx, serve.JobSpec{
+		Kind: serve.KindFuzz, Fuzzer: "swarmfuzz",
+		SwarmSize: 3, SpoofDistance: 10,
+		MaxIterPerSeed: 2, MaxSeeds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil || final.State != serve.StateDone {
+		t.Fatalf("Wait = %+v, %v; want done", final, err)
+	}
+
+	raw, err := c.Report(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.FuzzReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := c.JobStats(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Counters[telemetry.MSimRuns]; got != int64(rep.SimRuns) {
+		t.Errorf("%s = %d, report sim_runs = %d", telemetry.MSimRuns, got, rep.SimRuns)
+	}
+	if got := prog.Counters[telemetry.MSearchIters]; got != int64(rep.IterationsToFind) {
+		t.Errorf("%s = %d, report iterations_to_find = %d", telemetry.MSearchIters, got, rep.IterationsToFind)
+	}
+	if rep.Found {
+		if got := prog.Counters[telemetry.MSeedsCracked]; got == 0 {
+			t.Errorf("report found an SPV but %s = 0", telemetry.MSeedsCracked)
+		}
+		want := rep.Findings[len(rep.Findings)-1].Objective
+		if got := prog.Gauges[telemetry.MBestObjective]; got != want {
+			t.Errorf("%s = %v, report objective = %v", telemetry.MBestObjective, got, want)
+		}
+	}
+}
+
+// TestTraceEndpoint submits a campaign and requires the served span
+// tree to be exactly what the stitching promises: one "job" root,
+// campaign and mission spans nested inside it, every span stamped
+// with the job id as its trace, every parent resolvable.
+func TestTraceEndpoint(t *testing.T) {
+	c, _ := newTestDaemon(t, map[string]fuzz.Fuzzer{"stub": &okFuzzer{}})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, obsCampaignSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) < 3 {
+		t.Fatalf("got %d spans, want at least job+campaign+mission", len(spans))
+	}
+	byID := map[uint64]telemetry.SpanEvent{}
+	var root telemetry.SpanEvent
+	roots := 0
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Trace != st.ID {
+			t.Errorf("span %q trace = %q, want %q", s.Name, s.Trace, st.ID)
+		}
+		if s.Parent == 0 {
+			roots++
+			root = s
+		}
+	}
+	if roots != 1 || root.Name != "job" {
+		t.Fatalf("%d root span(s), root name %q; want exactly one root named \"job\"", roots, root.Name)
+	}
+	var campaign telemetry.SpanEvent
+	missions := 0
+	for _, s := range spans {
+		if s.Parent != 0 {
+			if _, ok := byID[s.Parent]; !ok {
+				t.Errorf("span %q parents into missing span %d", s.Name, s.Parent)
+			}
+		}
+		switch s.Name {
+		case "campaign":
+			campaign = s
+		case "mission":
+			missions++
+		}
+	}
+	if campaign.ID == 0 || campaign.Parent != root.ID {
+		t.Errorf("campaign span parent = %d, want the job root %d", campaign.Parent, root.ID)
+	}
+	for _, s := range spans {
+		if s.Name == "mission" && s.Parent != campaign.ID {
+			t.Errorf("mission span parent = %d, want the campaign span %d", s.Parent, campaign.ID)
+		}
+	}
+	if missions != 2 {
+		t.Errorf("got %d mission spans, spec planned 2", missions)
+	}
+
+	// The raw endpoint streams NDJSON with one well-formed span per line.
+	resp, err := http.Get(c.Base + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Errorf("trace Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	// Unknown jobs map to 404, not an empty trace.
+	if _, err := c.Trace(ctx, "j999999"); client.StatusCode(err) != http.StatusNotFound {
+		t.Errorf("Trace(unknown) status = %d, want 404", client.StatusCode(err))
+	}
+}
+
+// TestDashboardAndStatsEvents pins the ops surface: the dashboard is
+// one complete self-contained HTML document wired to the SSE stats
+// feed, and the feed itself frames FleetStats as `event: stats`.
+func TestDashboardAndStatsEvents(t *testing.T) {
+	c, _ := newTestDaemon(t, map[string]fuzz.Fuzzer{"stub": &okFuzzer{}})
+
+	resp, err := http.Get(c.Base + "/debug/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/dashboard = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard Content-Type = %q, want text/html", ct)
+	}
+	page := string(body)
+	for _, want := range []string{"<!DOCTYPE html>", "</html>", "/v1/stats/events", "EventSource"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard misses %q", want)
+		}
+	}
+	// Self-contained: no external scripts, styles or images.
+	for _, banned := range []string{"src=\"http", "href=\"http", "<link", "@import", "url(http"} {
+		if strings.Contains(page, banned) {
+			t.Errorf("dashboard references an external asset (%q)", banned)
+		}
+	}
+
+	// The SSE feed emits a stats frame immediately on connect.
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/stats/events?interval_ms=100", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sres.Body.Close()
+	if ct := sres.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("stats events Content-Type = %q, want text/event-stream", ct)
+	}
+	sc := bufio.NewScanner(sres.Body)
+	var event, data string
+	for sc.Scan() && data == "" {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if event != "stats" {
+		t.Errorf("first SSE event = %q, want stats", event)
+	}
+	var st serve.FleetStats
+	if err := json.Unmarshal([]byte(data), &st); err != nil {
+		t.Errorf("stats event payload is not FleetStats JSON: %v\n%s", err, data)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"swarmfuzz/internal/telemetry"
 )
@@ -22,7 +23,15 @@ import (
 //	GET    /v1/jobs/{id}/events progress stream        → 200 SSE (or
 //	                            JSONL with ?format=jsonl), replaying the
 //	                            job's history then following live
+//	GET    /v1/jobs/{id}/stats  progress snapshot      → 200 JobProgress
+//	GET    /v1/jobs/{id}/trace  span tree              → 200 JSONL of
+//	                            telemetry.SpanEvent, root = job span
 //	DELETE /v1/jobs/{id}        cancel                 → 202 JobStatus
+//	GET    /v1/stats            fleet aggregates       → 200 FleetStats
+//	GET    /v1/stats/events     stats feed             → 200 SSE, one
+//	                            FleetStats per tick (?interval_ms=N,
+//	                            default 1000, min 100)
+//	GET    /debug/dashboard     live ops dashboard     → 200 HTML
 //	GET    /healthz             process liveness       → 200
 //	GET    /readyz              accepting jobs?        → 200 | 503
 //
@@ -41,13 +50,18 @@ func NewServer(e *Engine, reg *telemetry.Registry) http.Handler {
 	} else {
 		mux = http.NewServeMux()
 	}
-	s := &server{engine: e}
+	s := &server{engine: e, reg: reg}
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.jobStats)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /v1/stats/events", s.statsEvents)
+	mux.HandleFunc("GET /debug/dashboard", s.dashboard)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
@@ -66,6 +80,7 @@ func NewServer(e *Engine, reg *telemetry.Registry) http.Handler {
 
 type server struct {
 	engine *Engine
+	reg    *telemetry.Registry
 }
 
 // writeJSON responds with v at the given status.
@@ -159,6 +174,80 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// stats serves the fleet aggregate snapshot.
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats(s.reg))
+}
+
+// statsEvents streams fleet snapshots over SSE, one per tick, until
+// the client disconnects — the dashboard's data feed.
+func (s *server) statsEvents(w http.ResponseWriter, r *http.Request) {
+	interval := time.Second
+	if v := r.URL.Query().Get("interval_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 100 {
+			writeError(w, fmt.Errorf("serve: interval_ms must be an integer >= 100, got %q", v))
+			return
+		}
+		interval = time.Duration(n) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		data, err := json.Marshal(s.engine.Stats(s.reg))
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: stats\ndata: %s\n\n", data); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// jobStats serves one job's progress snapshot.
+func (s *server) jobStats(w http.ResponseWriter, r *http.Request) {
+	p, err := s.engine.JobStats(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// trace serves the job's stitched span tree as JSONL, one
+// telemetry.SpanEvent per line in completion order.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	spans, err := s.engine.Trace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, span := range spans {
+		if err := enc.Encode(span); err != nil {
+			return
+		}
+	}
+}
+
+// dashboard serves the self-contained live ops page.
+func (s *server) dashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashboardHTML))
 }
 
 // events streams the job's event history and then follows live until

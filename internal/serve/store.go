@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -123,6 +124,9 @@ func (s *Store) ReportPath(id string) string { return filepath.Join(s.JobDir(id)
 
 // EventsPath returns the job's persisted event stream path.
 func (s *Store) EventsPath(id string) string { return filepath.Join(s.JobDir(id), "events.jsonl") }
+
+// TracePath returns the job's span trace path.
+func (s *Store) TracePath(id string) string { return filepath.Join(s.JobDir(id), "trace.jsonl") }
 
 // FormatID renders the canonical job id for a sequence number. Ids are
 // zero-padded so lexical order is submission order.
@@ -319,6 +323,31 @@ func (s *Store) appendEventOnce(id string, data []byte) error {
 		return err
 	}
 	return f.Close()
+}
+
+// OpenTrace opens the job's span trace for appending; the caller owns
+// the returned writer for the attempt's duration. Unlike events, spans
+// stream through one open file: a span is written once, at End, and a
+// job emits far more spans than events.
+func (s *Store) OpenTrace(id string) (io.WriteCloser, error) {
+	if err := s.fs.MkdirAll(s.JobDir(id), 0o755); err != nil {
+		return nil, err
+	}
+	return s.fs.OpenFile(s.TracePath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadTrace returns the job's persisted spans in completion order. A
+// missing file is an empty trace; torn lines are skipped.
+func (s *Store) ReadTrace(id string) ([]telemetry.SpanEvent, error) {
+	f, err := s.fs.Open(s.TracePath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.ReadSpans(f)
 }
 
 // ReadEvents returns the job's persisted events in order. Torn trailing

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuantile(t *testing.T) {
+	h := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{2, 2, 0, 0}, // 2 in (0,1], 2 in (1,2], none above
+		Count:  4,
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0.25, 0.5}, // rank 1 of 2 in first bucket → midpoint
+		{0.5, 1.0},  // rank 2 exhausts bucket 1
+		{0.75, 1.5}, // rank 3: halfway through (1,2]
+		{1.0, 2.0},  // rank 4 exhausts bucket 2
+		{-1, 0},     // clamps low
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	empty := HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+
+	// Observations in the +Inf bucket clamp to the largest finite
+	// bound: the result must stay JSON-encodable.
+	inf := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 3}, Count: 3}
+	if got := inf.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket Quantile = %v, want 2", got)
+	}
+	if math.IsNaN(inf.Quantile(0.5)) || math.IsInf(inf.Quantile(0.5), 0) {
+		t.Fatal("Quantile produced a non-finite value")
+	}
+}
+
+// TestWritePrometheusGolden pins the full exposition byte-for-byte,
+// including # HELP lines, so format regressions are caught exactly.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MSimRuns).Add(7)
+	reg.Gauge("workers").Set(4)
+	reg.Histogram("wait", 0.5, 1).Observe(0.25)
+
+	RegisterHelp("workers", "Configured worker goroutines.")
+	RegisterHelp("wait", "Queue wait histogram.")
+
+	var sb strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP sim_runs Completed sim.Run calls, the unit of fuzzing cost.
+# TYPE sim_runs counter
+sim_runs 7
+# HELP workers Configured worker goroutines.
+# TYPE workers gauge
+workers 4
+# HELP wait Queue wait histogram.
+# TYPE wait histogram
+wait_bucket{le="0.5"} 1
+wait_bucket{le="1"} 1
+wait_bucket{le="+Inf"} 1
+wait_sum 0.25
+wait_count 1
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestReadSpansRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	tel := New(NewRegistry(), &buf)
+	clock := &FakeClock{T: time.Unix(100, 0), Step: time.Millisecond}
+	tel.SetClock(clock.Now)
+	tel.SetTraceID("job-1")
+	tel.SetSpanBase(10)
+
+	root := tel.StartSpan(0, "job", KV("kind", "fuzz"))
+	child := tel.StartSpan(root.ID(), "mission")
+	child.End()
+	root.End()
+
+	// A torn trailing line and a foreign record must be skipped.
+	buf.WriteString(`{"type":"progress","x":1}` + "\n")
+	buf.WriteString(`{"type":"span","id":`)
+
+	spans, err := ReadSpans(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Spans finish child-first.
+	if spans[0].Name != "mission" || spans[1].Name != "job" {
+		t.Errorf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].ID != 11 {
+		t.Errorf("root ID = %d, want 11 (base 10 + 1)", spans[1].ID)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Errorf("child parent = %d, want %d", spans[0].Parent, spans[1].ID)
+	}
+	for _, s := range spans {
+		if s.Trace != "job-1" {
+			t.Errorf("span %q trace = %q, want job-1", s.Name, s.Trace)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -135,6 +136,44 @@ type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) from the bucket
+// counts, interpolating linearly within the winning bucket the way
+// Prometheus' histogram_quantile does. An empty histogram returns 0,
+// and the +Inf bucket clamps to the highest finite bound, so the
+// result is always finite — quantiles feed JSON stats documents, which
+// cannot carry NaN.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			inBucket := float64(h.Counts[i])
+			if inBucket == 0 {
+				return b
+			}
+			below := float64(cum) - inBucket
+			return lower + (b-lower)*(rank-below)/inBucket
+		}
+	}
+	// The rank lives in the +Inf bucket: the best finite statement is
+	// the largest finite bound.
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry. Its
 // JSON encoding is deterministic: map keys are sorted by encoding/json.
 type Snapshot struct {
@@ -184,21 +223,66 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return err
 }
 
+// Metric help texts, emitted as # HELP lines in the Prometheus
+// exposition. Help is registered per metric name (RegisterHelp), so
+// packages that own metric constants document them where they define
+// them; an unregistered metric simply gets no HELP line.
+var (
+	helpMu    sync.Mutex
+	helpTexts = map[string]string{}
+)
+
+// RegisterHelp records the one-line help text for a metric name. Later
+// registrations of the same name win; newlines are stripped because the
+// exposition format is line-oriented.
+func RegisterHelp(name, help string) {
+	helpMu.Lock()
+	helpTexts[name] = strings.ReplaceAll(help, "\n", " ")
+	helpMu.Unlock()
+}
+
+// MetricHelp returns the registered help text for a metric name ("" for
+// unregistered names).
+func MetricHelp(name string) string {
+	helpMu.Lock()
+	defer helpMu.Unlock()
+	return helpTexts[name]
+}
+
+// writeHelp emits the # HELP line for name when help is registered.
+func writeHelp(w io.Writer, name string) error {
+	if help := MetricHelp(name); help != "" {
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		return err
+	}
+	return nil
+}
+
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format, metrics sorted by name.
+// format, metrics sorted by name, with # HELP lines for every metric
+// whose help text is registered.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 			return err
 		}

@@ -64,11 +64,43 @@ const (
 	MPostmortems = "postmortems_written"
 )
 
+// MBestObjective gauges the best (lowest) SPV objective a fuzzing run
+// has found so far — the victim-obstacle distance of the latest
+// finding. It is a per-job search-progress signal: a falling value
+// means the search is converging on a collision.
+const MBestObjective = "fuzz_best_spv_objective"
+
 // histBounds fixes per-metric histogram bucket bounds. Metrics not
 // listed fall back to DefaultBuckets.
 var histBounds = map[string][]float64{
 	// Single simulations run in the low milliseconds.
 	MSimWallSeconds: {.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5},
+}
+
+func init() {
+	for name, help := range map[string]string{
+		MSimRuns:             "Completed sim.Run calls, the unit of fuzzing cost.",
+		MSimSteps:            "Integration steps across all simulations.",
+		MSimWallSeconds:      "Wall-time histogram of single simulations.",
+		MSearchIters:         "Parameter-search iterations across seeds.",
+		MSVGBuilds:           "Swarm Vulnerability Graph constructions.",
+		MSeedsScheduled:      "Target-victim seeds scheduled for search.",
+		MSeedsCracked:        "Seeds whose parameter search found an SPV.",
+		MMissionsPlanned:     "Missions admitted into campaigns.",
+		MMissionsDone:        "Missions whose fuzzing settled.",
+		MMissionsCracked:     "Missions with an SPV found.",
+		MMissionRetries:      "Extra fuzzing attempts after transient mission failures.",
+		MMissionPanics:       "Missions degraded by a recovered panic.",
+		MMissionDeadlineHits: "Missions degraded by the per-mission deadline.",
+		MMissionErrors:       "Missions degraded by any failure.",
+		MCheckpointSaves:     "Grid checkpoint cells written.",
+		MCheckpointLoads:     "Grid checkpoint cells restored.",
+		MFlightsRecorded:     "Mission flight logs written.",
+		MPostmortems:         "HTML post-mortems rendered.",
+		MBestObjective:       "Best (lowest) SPV objective found so far by a fuzzing run.",
+	} {
+		RegisterHelp(name, help)
+	}
 }
 
 // Recorder is the telemetry sink the pipeline records into. Stage code
@@ -113,10 +145,11 @@ func OrNop(r Recorder) Recorder {
 // Telemetry is the standard Recorder: a metrics registry plus an
 // optional JSONL trace stream. Safe for concurrent use.
 type Telemetry struct {
-	reg    *Registry
-	tw     *traceWriter
-	clock  func() time.Time
-	nextID atomic.Uint64
+	reg     *Registry
+	tw      *traceWriter
+	clock   func() time.Time
+	nextID  atomic.Uint64
+	traceID string
 }
 
 var _ Recorder = (*Telemetry)(nil)
@@ -135,6 +168,22 @@ func New(reg *Registry, trace io.Writer) *Telemetry {
 // deterministic traces in tests. Not safe to call concurrently with
 // recording.
 func (t *Telemetry) SetClock(now func() time.Time) { t.clock = now }
+
+// SetTraceID stamps every subsequently finished span with the given
+// trace ID, tying the spans of one logical operation (a served job)
+// together across process restarts. Not safe to call concurrently with
+// recording.
+func (t *Telemetry) SetTraceID(id string) { t.traceID = id }
+
+// SetSpanBase moves the span ID sequence past n, so a recorder that
+// resumes an existing trace (a retried job appending to the same file)
+// never reuses an ID already on disk. Not safe to call concurrently
+// with recording.
+func (t *Telemetry) SetSpanBase(n uint64) {
+	if n > t.nextID.Load() {
+		t.nextID.Store(n)
+	}
+}
 
 // Registry returns the underlying metrics registry.
 func (t *Telemetry) Registry() *Registry { return t.reg }
@@ -172,8 +221,9 @@ func (t *Telemetry) endSpan(s Span, extra []Attr) {
 	}
 	// A write failure (full disk, closed file) must not take down the
 	// campaign; tracing degrades silently.
-	_ = t.tw.write(spanEvent{
+	_ = t.tw.write(SpanEvent{
 		Type:    "span",
+		Trace:   t.traceID,
 		ID:      uint64(s.id),
 		Parent:  uint64(s.parent),
 		Name:    s.name,

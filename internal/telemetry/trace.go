@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
@@ -44,10 +45,11 @@ func (s Span) End(extra ...Attr) {
 	s.t.endSpan(s, extra)
 }
 
-// spanEvent is the JSONL wire form of a finished span. Field order is
+// SpanEvent is the JSONL wire form of a finished span. Field order is
 // fixed by this struct; attribute keys are sorted by encoding/json.
-type spanEvent struct {
+type SpanEvent struct {
 	Type    string         `json:"type"`
+	Trace   string         `json:"trace,omitempty"`
 	ID      uint64         `json:"id"`
 	Parent  uint64         `json:"parent,omitempty"`
 	Name    string         `json:"name"`
@@ -57,13 +59,31 @@ type spanEvent struct {
 	Attrs   map[string]any `json:"attrs,omitempty"`
 }
 
+// ReadSpans parses a JSONL trace stream back into span events. Lines
+// that do not parse, or whose type is not "span", are skipped — a
+// trace may end with a torn line after a crash, and skipping keeps the
+// prefix usable.
+func ReadSpans(r io.Reader) ([]SpanEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var spans []SpanEvent
+	for sc.Scan() {
+		var ev SpanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil || ev.Type != "span" {
+			continue
+		}
+		spans = append(spans, ev)
+	}
+	return spans, sc.Err()
+}
+
 // traceWriter serialises span events onto one JSONL stream.
 type traceWriter struct {
 	mu sync.Mutex
 	w  io.Writer
 }
 
-func (tw *traceWriter) write(ev spanEvent) error {
+func (tw *traceWriter) write(ev SpanEvent) error {
 	data, err := json.Marshal(ev)
 	if err != nil {
 		return err

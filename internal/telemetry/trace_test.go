@@ -29,7 +29,7 @@ func TestSpanJSONL(t *testing.T) {
 		t.Fatalf("got %d trace lines, want 2:\n%s", len(lines), buf.String())
 	}
 	// Spans are emitted at End: the child line comes first.
-	var ev spanEvent
+	var ev SpanEvent
 	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
 		t.Fatalf("line 0 does not parse: %v", err)
 	}
@@ -42,7 +42,7 @@ func TestSpanJSONL(t *testing.T) {
 	if ev.DurUS != (ev.EndUS - ev.StartUS) {
 		t.Errorf("dur %d != end-start %d", ev.DurUS, ev.EndUS-ev.StartUS)
 	}
-	var rootEv spanEvent
+	var rootEv SpanEvent
 	if err := json.Unmarshal([]byte(lines[1]), &rootEv); err != nil {
 		t.Fatalf("line 1 does not parse: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestTraceConcurrency(t *testing.T) {
 	n := 0
 	for sc.Scan() {
 		n++
-		var ev spanEvent
+		var ev SpanEvent
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("line %d corrupt: %v: %s", n, err, sc.Text())
 		}

@@ -1,0 +1,67 @@
+#!/bin/sh
+# metrics-lint enforces the two metric-hygiene rules the observability
+# stack depends on:
+#
+#   1. Every metric name carries a unit suffix (_seconds, _total,
+#      _bytes) or is explicitly grandfathered in
+#      scripts/metrics-allowlist.txt — new metrics must not grow the
+#      allowlist silently.
+#   2. Every metric name appears in DESIGN.md's metrics inventory
+#      (section 4.11), so /metrics never exposes an undocumented name.
+#
+# Names are harvested from the M* string constants across internal/
+# (the convention every metric constant follows), plus the per-kind
+# wall histograms derived at runtime by serve.jobWallMetric. Wired
+# into `make check` and CI.
+set -eu
+cd "$(dirname "$0")/.."
+
+ALLOW="scripts/metrics-allowlist.txt"
+DESIGN="DESIGN.md"
+
+names=$(grep -rhoE '\bM[A-Za-z0-9]+[[:space:]]*=[[:space:]]*"[a-z0-9_]+"' \
+	--include='*.go' internal | sed -E 's/.*"([a-z0-9_]+)"/\1/' | sort -u)
+# serve_job_<kind>_wall_seconds is built by serve.jobWallMetric, not a
+# constant; enumerate the kinds here so the derived names are held to
+# the same rules.
+names=$(printf '%s\nserve_job_fuzz_wall_seconds\nserve_job_campaign_wall_seconds\nserve_job_grid_wall_seconds\n' "$names" | sort -u)
+
+if [ -z "$names" ]; then
+	echo "metrics-lint: harvested no metric names — the M* constant convention changed?" >&2
+	exit 1
+fi
+
+allowed=$(sed 's/#.*//' "$ALLOW" | tr -d '[:blank:]' | grep -v '^$' || true)
+
+fail=0
+total=0
+for n in $names; do
+	total=$((total + 1))
+	case "$n" in
+	*_seconds | *_total | *_bytes) ;;
+	*)
+		if ! printf '%s\n' "$allowed" | grep -qx "$n"; then
+			echo "metrics-lint: $n has no unit suffix (_seconds/_total/_bytes) and is not in $ALLOW" >&2
+			fail=1
+		fi
+		;;
+	esac
+	if ! grep -qE "(^|[^a-z0-9_])$n([^a-z0-9_]|$)" "$DESIGN"; then
+		echo "metrics-lint: $n is missing from the $DESIGN metrics inventory (section 4.11)" >&2
+		fail=1
+	fi
+done
+
+# The allowlist must not carry dead names: once a metric is renamed to
+# a suffixed form, its grandfather entry goes too.
+for a in $allowed; do
+	if ! printf '%s\n' "$names" | grep -qx "$a"; then
+		echo "metrics-lint: allowlist entry $a matches no declared metric — remove it" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "metrics-lint: OK ($total metrics: unit suffixes and DESIGN.md inventory agree)"

@@ -1,10 +1,23 @@
 #!/bin/sh
 # serve-smoke boots a real swarmfuzzd on an ephemeral port, submits a
 # tiny single-mission fuzz job through the CLI client, waits for it to
-# settle, and asserts it finished done with a report on disk. It is the
-# end-to-end proof that the daemon, store, API and client agree —
-# wired into CI via `make serve-smoke`.
+# settle, and asserts it finished done with a report on disk. It then
+# runs a small grid job and checks the observability surface: /v1/stats
+# reports non-zero queue-wait observations, /v1/jobs/{id}/trace yields
+# a parseable span tree rooted at the job span (`swarmfuzzd trace`
+# verifies and exits non-zero otherwise), and /debug/dashboard serves a
+# complete self-contained HTML page. It is the end-to-end proof that
+# the daemon, store, API, client and ops views agree — wired into CI
+# via `make serve-smoke`.
 set -eu
+
+fetch() { # fetch URL > stdout, with curl or wget
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS "$1"
+	else
+		wget -qO- "$1"
+	fi
+}
 
 TMP=$(mktemp -d)
 DAEMON_PID=""
@@ -56,4 +69,69 @@ grep -q '"state": "done"' "$TMP/final.json" || {
 	exit 1
 }
 
-echo "serve-smoke: OK ($JOB done, report persisted)"
+echo "serve-smoke: submitting a tiny grid job for the observability checks"
+GRID=$("$TMP/swarmfuzzd" submit -addr "$ADDR" \
+	-kind grid -sizes 3 -dists 10 -missions 1 -iters 2 -max-seeds 1 -workers 1)
+"$TMP/swarmfuzzd" wait -addr "$ADDR" "$GRID" > "$TMP/grid-final.json"
+grep -q '"state": "done"' "$TMP/grid-final.json" || {
+	echo "serve-smoke: grid job did not finish done:" >&2
+	cat "$TMP/grid-final.json" >&2
+	exit 1
+}
+
+echo "serve-smoke: checking /v1/stats for queue-wait observations"
+fetch "http://$ADDR/v1/stats" > "$TMP/stats.json"
+# The body is indented JSON: the line after `"queue_wait": {` is its
+# observation count, which must be non-zero after two finished jobs.
+awk '/"queue_wait": \{/ { getline; if ($0 ~ /"count": [1-9]/) ok = 1 }
+	END { exit ok ? 0 : 1 }' "$TMP/stats.json" || {
+	echo "serve-smoke: /v1/stats has no queue-wait observations:" >&2
+	cat "$TMP/stats.json" >&2
+	exit 1
+}
+grep -q '"grid": 1' "$TMP/stats.json" || {
+	echo "serve-smoke: /v1/stats does not count the grid job:" >&2
+	cat "$TMP/stats.json" >&2
+	exit 1
+}
+# The per-job view must answer too.
+"$TMP/swarmfuzzd" stats -addr "$ADDR" "$GRID" > "$TMP/jobstats.json"
+grep -q '"state": "done"' "$TMP/jobstats.json" || {
+	echo "serve-smoke: job stats did not report the done grid job:" >&2
+	cat "$TMP/jobstats.json" >&2
+	exit 1
+}
+
+echo "serve-smoke: verifying the stitched span tree for $GRID"
+# `trace` re-verifies the invariants (single root named "job", every
+# parent resolvable, every span stamped with the job id) and exits
+# non-zero on any violation.
+"$TMP/swarmfuzzd" trace -addr "$ADDR" "$GRID" > "$TMP/trace.txt"
+grep -q "root \"job\"" "$TMP/trace.txt" || {
+	echo "serve-smoke: trace tree is not rooted at the job span:" >&2
+	cat "$TMP/trace.txt" >&2
+	exit 1
+}
+
+echo "serve-smoke: checking /debug/dashboard"
+fetch "http://$ADDR/debug/dashboard" > "$TMP/dashboard.html"
+for needle in '<!DOCTYPE html>' '</html>' '/v1/stats/events'; do
+	grep -qF "$needle" "$TMP/dashboard.html" || {
+		echo "serve-smoke: dashboard HTML misses $needle" >&2
+		exit 1
+	}
+done
+if grep -qE 'src="http|href="http|<link' "$TMP/dashboard.html"; then
+	echo "serve-smoke: dashboard references an external asset" >&2
+	exit 1
+fi
+
+echo "serve-smoke: rendering one swarmfuzzd top frame"
+"$TMP/swarmfuzzd" top -addr "$ADDR" -once > "$TMP/top.txt"
+grep -q "queue wait" "$TMP/top.txt" || {
+	echo "serve-smoke: top frame misses the latency table:" >&2
+	cat "$TMP/top.txt" >&2
+	exit 1
+}
+
+echo "serve-smoke: OK ($JOB done, report persisted; stats, trace, dashboard and top verified on $GRID)"
