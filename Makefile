@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check metrics-lint serve-smoke chaos-smoke bench bench-compare
+.PHONY: build vet test race check metrics-lint serve-smoke chaos-smoke atlas-smoke bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ serve-smoke:
 chaos-smoke:
 	./scripts/chaos-smoke.sh
 
+# atlas-smoke proves the search atlas end to end: the golden and
+# checkpoint-resume byte-identity pins, two identical CLI runs
+# diffing clean, and a served grid job whose artifact frames a
+# populated cell and whose XHTML page passes tools/xmlwf.
+atlas-smoke:
+	./scripts/atlas-smoke.sh
+
 # bench smoke-runs every benchmark once and leaves two records behind:
 # BENCH_telemetry.json holds the telemetry pipeline's throughput
 # figures (missions/s, ns/sim-step — machine-dependent, gitignored),
@@ -52,6 +59,8 @@ bench:
 	BENCH_HOTPATH=$(CURDIR)/BENCH_hotpath.json $(GO) test -bench='^(BenchmarkSimStep|BenchmarkSeedSearch)$$' -benchtime=1x -run=^$$ .
 	rm -f $(CURDIR)/BENCH_obs.json
 	BENCH_OBS=$(CURDIR)/BENCH_obs.json $(GO) test -bench='^BenchmarkStatsSnapshot$$' -benchtime=1x -run=^$$ .
+	rm -f $(CURDIR)/BENCH_atlas.json
+	BENCH_ATLAS=$(CURDIR)/BENCH_atlas.json $(GO) test -bench='^BenchmarkSearchObserver$$' -benchtime=1x -run=^$$ .
 	$(GO) test -race ./internal/telemetry/...
 
 # bench-compare measures the hot path afresh and diffs it against the
@@ -67,3 +76,8 @@ bench-compare:
 	# The stats snapshot is measured under deliberate writer
 	# contention, so its run-to-run band is wider than the sim step's.
 	$(GO) run ./tools/benchcompare -old $(CURDIR)/BENCH_obs.json -new $(CURDIR)/BENCH_obs.new.json -max-regression 0.50
+	rm -f $(CURDIR)/BENCH_atlas.new.json
+	BENCH_ATLAS=$(CURDIR)/BENCH_atlas.new.json $(GO) test -bench='^BenchmarkSearchObserver$$' -benchtime=1x -run=^$$ .
+	# The observed descent includes JSON encoding into io.Discard, so
+	# its band matches the obs snapshot's rather than the sim step's.
+	$(GO) run ./tools/benchcompare -old $(CURDIR)/BENCH_atlas.json -new $(CURDIR)/BENCH_atlas.new.json -max-regression 0.50

@@ -19,6 +19,7 @@ import (
 
 	"testing"
 
+	"swarmfuzz/internal/atlas"
 	"swarmfuzz/internal/experiments"
 	"swarmfuzz/internal/flightlog"
 	"swarmfuzz/internal/flock"
@@ -592,6 +593,95 @@ func BenchmarkSeedSearch(b *testing.B) {
 			hotpathRecord(b, fmt.Sprintf("seed_search_workers%d", workers), map[string]float64{
 				"ns_per_walk": float64(time.Since(t0).Nanoseconds()) / float64(b.N),
 			})
+		})
+	}
+}
+
+// BenchmarkSearchObserver pins the cost of atlas recording on the
+// search hot path. "disabled" is the default nil Observe hook — the
+// optimizer pays exactly one nil-func check per counted iterate and
+// nothing else. "enabled" streams every iterate through a live
+// atlas.Collector into io.Discard, bounding the worst-case recording
+// cost per gradient descent. Both run the synthetic bowl (no
+// simulation), isolating observer overhead from everything else. With
+// BENCH_ATLAS set it records fixed-work ns/descent figures into the
+// named file for the bench-compare gate.
+func BenchmarkSearchObserver(b *testing.B) {
+	f := func(ts, dt float64) float64 {
+		return 1 + 0.05*((ts-30)*(ts-30)+(dt-12)*(dt-12))
+	}
+	gopts := opt.DefaultOptions()
+	gopts.MaxIters = 20
+	seed := svg.Seed{Target: 1, Victim: 0, Direction: gps.Left, Influence: 1, VDO: 5}
+
+	// timeDescents measures n descents of fixed work; perSeed frames
+	// each descent (nil for the bare run).
+	timeDescents := func(b *testing.B, n int, opts opt.Options, perSeed func(func())) time.Duration {
+		b.Helper()
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			run := func() {
+				if _, err := opt.Minimize(f, 5, 5, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if perSeed != nil {
+				perSeed(run)
+			} else {
+				run()
+			}
+		}
+		return time.Since(t0)
+	}
+	// Fixed-work measurements: sized so each figure integrates over
+	// ≥10ms of descents, keeping the recorded ns/descent stable under
+	// -benchtime=1x (the bare descent is sub-microsecond, so it needs
+	// far more repetitions than the observed one).
+	const bareDescents, observedDescents = 50_000, 2000
+
+	var bareNS, observedNS float64
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Minimize(f, 5, 5, gopts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if os.Getenv("BENCH_ATLAS") != "" {
+			bareNS = float64(timeDescents(b, bareDescents, gopts, nil).Nanoseconds()) / bareDescents
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		col := atlas.NewCollector(io.Discard, nil)
+		col.BeginSearch(1, 5, 1)
+		opts := gopts
+		opts.Observe = func(it opt.Iterate) { col.SeedIterate(seed, it) }
+		frame := func(run func()) {
+			col.SeedStart(seed)
+			run()
+			col.SeedEnd(seed, gopts.MaxIters, false, "")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame(func() {
+				if _, err := opt.Minimize(f, 5, 5, opts); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+		b.StopTimer()
+		if col.Err() != nil {
+			b.Fatal(col.Err())
+		}
+		if os.Getenv("BENCH_ATLAS") != "" {
+			observedNS = float64(timeDescents(b, observedDescents, opts, frame).Nanoseconds()) / observedDescents
+		}
+	})
+	if out := os.Getenv("BENCH_ATLAS"); out != "" {
+		benchRecord(b, out, "search_observer", map[string]float64{
+			"ns_per_descent_bare":     bareNS,
+			"ns_per_descent_observed": observedNS,
 		})
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"swarmfuzz/internal/atlas"
 	"swarmfuzz/internal/experiments"
 	"swarmfuzz/internal/telemetry"
 )
@@ -85,6 +86,8 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 		workers    = fs.Int("seed-workers", 0, "speculative seed-search workers per mission (0/1 = sequential; results are identical either way)")
 		flightDir  = fs.String("flightlog", "", "directory to archive flight logs of cracked/degraded missions into")
 		postmortem = fs.Bool("postmortem", false, "render an HTML post-mortem next to each archived flight log")
+		atlasFile  = fs.String("atlas", "", "file to write the SwarmFuzz grid's search-atlas artifact into (JSONL)")
+		atlasHTML  = fs.String("atlas-html", "", "file to render the atlas as a self-contained XHTML page into (needs -atlas)")
 	)
 	tf := telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -113,26 +116,69 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 	cfg.Retry.MaxAttempts = 1 + *retries
 	cfg.FlightDir = *flightDir
 	cfg.Postmortem = *postmortem
+	cfg.AtlasPath = *atlasFile
 	cfg.Telemetry = tel.Rec
 	cfg.Log = log
+	if *atlasHTML != "" && *atlasFile == "" {
+		return errors.New("-atlas-html needs -atlas")
+	}
 
 	runner := experiments.NewRunner(cfg, os.Stdout, *csvDir)
-	switch strings.ToLower(*exp) {
-	case "table1":
-		return runner.Table1(ctx)
-	case "table2":
-		return runner.Table2(ctx)
-	case "table3":
-		return runner.Table3(ctx)
-	case "fig5":
-		return runner.Fig5(ctx)
-	case "fig6":
-		return runner.Fig6(ctx)
-	case "fig7":
-		return runner.Fig7(ctx)
-	case "all":
-		return runner.All(ctx)
-	default:
-		return fmt.Errorf("unknown experiment %q", *exp)
+	runExp := func() error {
+		switch strings.ToLower(*exp) {
+		case "table1":
+			return runner.Table1(ctx)
+		case "table2":
+			return runner.Table2(ctx)
+		case "table3":
+			return runner.Table3(ctx)
+		case "fig5":
+			return runner.Fig5(ctx)
+		case "fig6":
+			return runner.Fig6(ctx)
+		case "fig7":
+			return runner.Fig7(ctx)
+		case "all":
+			return runner.All(ctx)
+		default:
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
 	}
+	if err := runExp(); err != nil {
+		return err
+	}
+	if *atlasFile != "" {
+		// Only the SwarmFuzz grid writes the artifact; an experiment
+		// that never runs it (table3, fig5) must fail loudly rather
+		// than leave the caller believing an atlas exists.
+		if _, serr := os.Stat(*atlasFile); serr != nil {
+			return fmt.Errorf("-atlas: the %q experiment does not run the SwarmFuzz grid, so no artifact was written (use table1/table2/fig6/fig7/all)", *exp)
+		}
+		log.Infof("search atlas written to %s", *atlasFile)
+	}
+	if *atlasHTML != "" {
+		if err := renderAtlasHTML(*atlasFile, *atlasHTML); err != nil {
+			return err
+		}
+		log.Infof("atlas page written to %s", *atlasHTML)
+	}
+	return nil
+}
+
+// renderAtlasHTML renders the recorded artifact as the self-contained
+// XHTML atlas page.
+func renderAtlasHTML(artifact, out string) error {
+	doc, err := atlas.ReadAtlasFile(artifact)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := atlas.RenderXHTML(doc, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

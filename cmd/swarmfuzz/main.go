@@ -16,7 +16,9 @@
 // log level. -flightlog DIR records the mission's step-level flight
 // log (clean run, SVG edges, seed schedule, search trail, and a
 // witness run of each finding); -postmortem renders it as a
-// self-contained HTML file. Results go to stdout; logs go to stderr.
+// self-contained HTML file; -atlas FILE records the search-atlas
+// artifact (per-seed convergence trails and classifications, JSONL).
+// Results go to stdout; logs go to stderr.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"strings"
 	"syscall"
 
+	"swarmfuzz/internal/atlas"
 	"swarmfuzz/internal/flightlog"
 	flreport "swarmfuzz/internal/flightlog/report"
 	"swarmfuzz/internal/flock"
@@ -80,6 +83,7 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 		workers = fs.Int("seed-workers", 0, "speculative seed-search workers (0/1 = sequential; report is identical either way)")
 		flight  = fs.String("flightlog", "", "directory to write the mission's flight log into")
 		postmor = fs.Bool("postmortem", false, "render an HTML post-mortem next to the flight log (needs -flightlog)")
+		atlasFile = fs.String("atlas", "", "file to write the search-atlas artifact into (per-seed convergence trails, JSONL)")
 	)
 	tf := telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +142,37 @@ func run(ctx context.Context, args []string, log *telemetry.Logger) (err error) 
 				return
 			}
 			log.Infof("post-mortem written to %s", html)
+		}()
+	}
+
+	if *atlasFile != "" {
+		af, aerr := os.Create(*atlasFile)
+		if aerr != nil {
+			return aerr
+		}
+		if aerr := atlas.WriteHeader(af, fuzzer.Name()); aerr != nil {
+			af.Close()
+			return aerr
+		}
+		col := atlas.NewCollector(af, tel.Rec)
+		opts.Observer = col
+		defer func() {
+			// Finalize only a healthy run: a deadline-killed attempt may
+			// still be streaming into the file, so an errored run leaves
+			// the artifact unframed rather than racing it. The framing
+			// (0 cells, 1 mission) matches a served fuzz job's bytes.
+			if err == nil {
+				if cerr := col.Err(); cerr != nil {
+					err = cerr
+				} else if cerr := atlas.WriteAtlasEnd(af, 0, 1); cerr != nil {
+					err = cerr
+				} else {
+					log.Infof("search atlas written to %s", *atlasFile)
+				}
+			}
+			if cerr := af.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}()
 	}
 

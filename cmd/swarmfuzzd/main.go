@@ -14,6 +14,7 @@
 //	swarmfuzzd cancel -addr 127.0.0.1:7077 job-id
 //	swarmfuzzd stats  -addr 127.0.0.1:7077 [job-id]
 //	swarmfuzzd trace  -addr 127.0.0.1:7077 job-id
+//	swarmfuzzd atlas  -addr 127.0.0.1:7077 job-id [-summary | -html page.xhtml]
 //	swarmfuzzd top    -addr 127.0.0.1:7077 -interval 2s
 //
 // The daemon serves the job API, /healthz, /readyz and the shared
@@ -72,13 +73,15 @@ func main() {
 		err = runStats(ctx, args)
 	case "trace":
 		err = runTrace(ctx, args)
+	case "atlas":
+		err = runAtlas(ctx, args)
 	case "top":
 		err = runTop(ctx, args)
 	case "help", "-h", "--help":
-		fmt.Println("usage: swarmfuzzd serve|submit|status|wait|cancel|stats|trace|top [flags]")
+		fmt.Println("usage: swarmfuzzd serve|submit|status|wait|cancel|stats|trace|atlas|top [flags]")
 		return
 	default:
-		err = fmt.Errorf("unknown subcommand %q (want serve|submit|status|wait|cancel|stats|trace|top)", cmd)
+		err = fmt.Errorf("unknown subcommand %q (want serve|submit|status|wait|cancel|stats|trace|atlas|top)", cmd)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -217,6 +220,7 @@ func runSubmit(ctx context.Context, args []string, log *telemetry.Logger) error 
 		retries = fs.Int("retries", 0, "extra attempts for transiently-failed missions (0 = default policy)")
 		flight  = fs.Bool("flightlog", false, "archive flight logs under the job's store directory")
 		postmor = fs.Bool("postmortem", false, "render HTML post-mortems next to the flight logs")
+		atlas   = fs.Bool("atlas", false, "record the search atlas (served by the atlas subcommand once done)")
 		wait    = fs.Bool("wait", false, "stream progress and wait for the job to settle")
 		report  = fs.Bool("report", false, "with -wait: print the finished job's report.json to stdout")
 	)
@@ -239,6 +243,7 @@ func runSubmit(ctx context.Context, args []string, log *telemetry.Logger) error 
 		Retries:           *retries,
 		Flightlog:         *flight,
 		Postmortem:        *postmor,
+		Atlas:             *atlas,
 	}
 	if spec.Kind == serve.KindGrid {
 		spec.SwarmSize, spec.SpoofDistance = 0, 0

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"swarmfuzz/internal/atlas"
 	"swarmfuzz/internal/serve"
 	"swarmfuzz/internal/serve/client"
 	"swarmfuzz/internal/telemetry"
@@ -79,6 +81,89 @@ func runTrace(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("trace %s: ok, %d spans, root %q\n", id, len(spans), rootName(spans))
 	return nil
+}
+
+// runAtlas fetches a finished job's search-atlas artifact, verifies it
+// parses as a complete framed atlas with at least one recorded mission,
+// and writes it out — the raw JSONL by default, a summary table with
+// -summary, or the self-contained XHTML page with -html FILE. A
+// missing, empty or truncated artifact is a non-zero exit with a
+// directed message, which is what the smoke test asserts.
+func runAtlas(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("swarmfuzzd atlas", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7077", "daemon address")
+	out := fs.String("o", "", "write the raw JSONL artifact to this file instead of stdout")
+	html := fs.String("html", "", "render the XHTML atlas page to this file")
+	summary := fs.Bool("summary", false, "print a per-cell summary table instead of the raw JSONL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return errors.New("atlas: need a job id")
+	}
+	raw, err := client.New(*addr).Atlas(ctx, id)
+	if err != nil {
+		return err
+	}
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return fmt.Errorf("atlas %s: artifact is empty — was the job submitted with -atlas?", id)
+	}
+	doc, err := atlas.ReadAtlas(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("atlas %s: artifact does not parse: %w", id, err)
+	}
+	if doc.End == nil {
+		return fmt.Errorf("atlas %s: artifact is unframed (no atlas_end — interrupted recording?)", id)
+	}
+	if doc.End.Missions == 0 {
+		return fmt.Errorf("atlas %s: artifact records no missions", id)
+	}
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err != nil {
+			return err
+		}
+		if err := atlas.RenderXHTML(doc, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("atlas %s: page written to %s\n", id, *html)
+		return nil
+	}
+	if *summary {
+		printAtlasSummary(doc)
+		return nil
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("atlas %s: %d bytes written to %s\n", id, len(raw), *out)
+		return nil
+	}
+	_, err = os.Stdout.Write(raw)
+	return err
+}
+
+// printAtlasSummary renders the per-cell aggregates as a text table.
+func printAtlasSummary(doc *atlas.Doc) {
+	fmt.Printf("atlas: fuzzer %s, %d cell(s), %d mission(s)\n",
+		doc.Header.Fuzzer, doc.End.Cells, doc.End.Missions)
+	if len(doc.Cells) == 0 {
+		return
+	}
+	fmt.Printf("%-4s %-6s %10s %14s %10s\n", "N", "DIST", "CRACK-RATE", "ITERS/CRACK", "STALLS")
+	for _, c := range doc.Cells {
+		if c.End == nil {
+			continue
+		}
+		fmt.Printf("%-4d %-6g %9.0f%% %14.1f %10.2f\n",
+			c.Cell.N, c.Cell.Dist, c.End.CrackRate*100, c.End.MeanItersToCrack, c.End.StallFraction)
+	}
 }
 
 // verifyTrace checks the stitched tree's invariants.

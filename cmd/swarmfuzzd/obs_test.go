@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"swarmfuzz/internal/atlas"
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/serve"
+	"swarmfuzz/internal/serve/client"
+	"swarmfuzz/internal/telemetry"
+)
+
+// stubFuzzer deterministically finds one SPV per mission, so jobs
+// settle instantly without running real simulations.
+type stubFuzzer struct{}
+
+func (stubFuzzer) Name() string { return "StubFuzz" }
+
+func (stubFuzzer) Fuzz(fuzz.Input, fuzz.Options) (*fuzz.Report, error) {
+	return &fuzz.Report{
+		Fuzzer: "StubFuzz", VDO: 1, Found: true, IterationsToFind: 1, SimRuns: 2,
+		Findings: []fuzz.Finding{{Plan: gps.SpoofPlan{Start: 3, Duration: 4}}},
+	}, nil
+}
+
+// newObsDaemon spins up a real engine + HTTP server over a fresh store
+// with the stub fuzzer installed, and returns its base address.
+func newObsDaemon(t *testing.T) string {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	e, err := serve.NewEngine(serve.Options{
+		Store:     t.TempDir(),
+		Workers:   2,
+		Fuzzers:   map[string]fuzz.Fuzzer{"stub": stubFuzzer{}},
+		Telemetry: telemetry.New(reg, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start(context.Background())
+	t.Cleanup(func() { e.Drain(5 * time.Second) })
+	ts := httptest.NewServer(serve.NewServer(e, reg))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// submitAndWait runs one stub job to completion and returns its id.
+func submitAndWait(t *testing.T, addr string, spec serve.JobSpec) string {
+	t.Helper()
+	c := client.New(addr)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil || final.State != serve.StateDone {
+		t.Fatalf("Wait = %+v, %v; want done", final, err)
+	}
+	return st.ID
+}
+
+// TestAtlasCommandErrors pins the atlas subcommand's failure modes:
+// every flavour of missing or broken artifact is a non-zero exit with
+// a message that says what went wrong and how to fix it.
+func TestAtlasCommandErrors(t *testing.T) {
+	ctx := context.Background()
+	addr := newObsDaemon(t)
+
+	if err := runAtlas(ctx, []string{"-addr", addr}); err == nil ||
+		!strings.Contains(err.Error(), "need a job id") {
+		t.Errorf("no-id error = %v", err)
+	}
+
+	// A finished job submitted WITHOUT atlas recording: the daemon's
+	// 409 surfaces with its directed message.
+	id := submitAndWait(t, addr, serve.JobSpec{
+		Kind: serve.KindFuzz, Fuzzer: "stub",
+		SwarmSize: 3, SpoofDistance: 10, Seed: 1,
+	})
+	if err := runAtlas(ctx, []string{"-addr", addr, id}); err == nil ||
+		!strings.Contains(err.Error(), "without atlas recording") {
+		t.Errorf("no-recording error = %v", err)
+	}
+
+	// An unknown job is the daemon's 404.
+	if err := runAtlas(ctx, []string{"-addr", addr, "j999999"}); client.StatusCode(err) != http.StatusNotFound {
+		t.Errorf("unknown-job error = %v, want 404", err)
+	}
+
+	// A daemon handing back empty or truncated bytes (a crashed
+	// recording) is caught client-side before anything is written.
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/j000001/atlas"):
+			// empty body
+		case strings.HasSuffix(r.URL.Path, "/j000002/atlas"):
+			_, _ = w.Write([]byte(`{"type":"atlas","version":1,"fuzzer":"SwarmFuzz"}` + "\n"))
+		}
+	}))
+	defer fake.Close()
+	if err := runAtlas(ctx, []string{"-addr", fake.URL, "j000001"}); err == nil ||
+		!strings.Contains(err.Error(), "artifact is empty") {
+		t.Errorf("empty-artifact error = %v", err)
+	}
+	if err := runAtlas(ctx, []string{"-addr", fake.URL, "j000002"}); err == nil ||
+		!strings.Contains(err.Error(), "unframed") {
+		t.Errorf("unframed-artifact error = %v", err)
+	}
+}
+
+// TestAtlasCommandHappyPath fetches a recorded artifact to a file and
+// checks it parses as a complete framed atlas.
+func TestAtlasCommandHappyPath(t *testing.T) {
+	ctx := context.Background()
+	addr := newObsDaemon(t)
+	id := submitAndWait(t, addr, serve.JobSpec{
+		Kind: serve.KindFuzz, Fuzzer: "stub",
+		SwarmSize: 3, SpoofDistance: 10, Seed: 1,
+		Atlas: true,
+	})
+	out := filepath.Join(t.TempDir(), "atlas.jsonl")
+	if err := runAtlas(ctx, []string{"-addr", addr, "-o", out, id}); err != nil {
+		t.Fatalf("runAtlas: %v", err)
+	}
+	doc, err := atlas.ReadAtlasFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.End == nil || doc.End.Missions != 1 {
+		t.Errorf("atlas_end = %+v, want 1 mission", doc.End)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTraceCommandRejectsEmptyTrace pins trace's non-zero exit when the
+// daemon hands back an empty span stream.
+func TestTraceCommandRejectsEmptyTrace(t *testing.T) {
+	ctx := context.Background()
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// 200 with no spans: a job that never recorded anything.
+	}))
+	defer fake.Close()
+	if err := runTrace(ctx, []string{"-addr", fake.URL, "j000001"}); err == nil ||
+		!strings.Contains(err.Error(), "empty trace") {
+		t.Errorf("empty-trace error = %v", err)
+	}
+	if err := runTrace(ctx, []string{"-addr", fake.URL}); err == nil ||
+		!strings.Contains(err.Error(), "need a job id") {
+		t.Errorf("no-id error = %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+package atlas
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Doc is a parsed atlas artifact. Grid artifacts group missions under
+// cells; single-mission artifacts carry their missions at the top
+// level.
+type Doc struct {
+	Header   Header
+	Cells    []*CellDoc
+	Missions []*MissionDoc
+	End      *AtlasEndRecord
+}
+
+// CellDoc is one grid cell's parsed stream.
+type CellDoc struct {
+	Cell     CellRecord
+	Missions []*MissionDoc
+	End      *CellEndRecord
+}
+
+// MissionDoc is one mission's parsed stream.
+type MissionDoc struct {
+	Mission MissionRecord
+	Seeds   []SeedRecord
+	End     *MissionEndRecord
+}
+
+// ReadAtlas parses a JSONL atlas artifact. Records of unknown type are
+// skipped so newer writers stay readable; a missing or malformed
+// header is an error, as is an artifact with no records at all.
+func ReadAtlas(r io.Reader) (*Doc, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	doc := &Doc{}
+	sawHeader := false
+	var cell *CellDoc
+	var mission *MissionDoc
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+		}
+		switch probe.Type {
+		case TypeHeader:
+			if err := json.Unmarshal(raw, &doc.Header); err != nil {
+				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+			}
+			sawHeader = true
+		case TypeCell:
+			cell = &CellDoc{}
+			if err := json.Unmarshal(raw, &cell.Cell); err != nil {
+				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+			}
+			doc.Cells = append(doc.Cells, cell)
+			mission = nil
+		case TypeMission:
+			mission = &MissionDoc{}
+			if err := json.Unmarshal(raw, &mission.Mission); err != nil {
+				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+			}
+			if cell != nil {
+				cell.Missions = append(cell.Missions, mission)
+			} else {
+				doc.Missions = append(doc.Missions, mission)
+			}
+		case TypeSeed:
+			var rec SeedRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+			}
+			if mission != nil {
+				mission.Seeds = append(mission.Seeds, rec)
+			}
+		case TypeMissionEnd:
+			var rec MissionEndRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+			}
+			if mission != nil {
+				mission.End = &rec
+				mission = nil
+			}
+		case TypeCellEnd:
+			var rec CellEndRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+			}
+			if cell != nil {
+				cell.End = &rec
+				cell = nil
+			}
+			mission = nil
+		case TypeAtlasEnd:
+			var rec AtlasEndRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+			}
+			doc.End = &rec
+		default:
+			// Unknown record type: skip for forward compatibility.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("atlas: read: %w", err)
+	}
+	if line == 0 {
+		return nil, errors.New("atlas: empty artifact")
+	}
+	if !sawHeader {
+		return nil, errors.New("atlas: artifact has no header record")
+	}
+	return doc, nil
+}
+
+// ReadAtlasFile parses the artifact at path.
+func ReadAtlasFile(path string) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAtlas(f)
+}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"swarmfuzz/internal/atlas"
 	"swarmfuzz/internal/flock"
 	"swarmfuzz/internal/fuzz"
 	"swarmfuzz/internal/metrics"
@@ -66,6 +68,13 @@ type Config struct {
 	// Postmortem renders a self-contained HTML post-mortem next to each
 	// recorded flight log. Ignored unless FlightDir is set.
 	Postmortem bool
+	// AtlasPath, when non-empty, is the file Grid writes the search-atlas
+	// JSONL artifact to: per-seed convergence trails, mission verdicts
+	// and per-cell landscape aggregates, in deterministic grid order.
+	// With Checkpoint also set, per-cell fragments are persisted next to
+	// the checkpoints and a resumed run reproduces the artifact
+	// byte-for-byte.
+	AtlasPath string
 	// Telemetry receives campaign counters and trace spans, and is
 	// threaded down through fuzzing into the simulator; nil disables
 	// recording.
@@ -118,6 +127,11 @@ type MissionOutcome struct {
 	// Retries is how many extra fuzzing attempts the mission needed
 	// (0 when the first attempt settled it).
 	Retries int `json:",omitempty"`
+	// Search summarises the mission's seed-search convergence (recorded
+	// only when atlas collection is enabled; nil for degraded missions).
+	// It is persisted in checkpoints so resumed cells aggregate exactly
+	// like fresh ones.
+	Search *atlas.MissionSearch `json:",omitempty"`
 }
 
 // CampaignResult aggregates one (swarm size, spoof distance) cell.
@@ -130,6 +144,12 @@ type CampaignResult struct {
 	// SkippedUnsafe counts sampled missions rejected by the initial
 	// no-attack test.
 	SkippedUnsafe int
+
+	// atlasFragment holds the cell's atlas JSONL stream (cell record,
+	// mission streams in job order, cell_end aggregate) when atlas
+	// collection is enabled. Deliberately unexported: checkpoints carry
+	// it as a sibling file, not inside the cell JSON.
+	atlasFragment []byte
 }
 
 // Errored returns the number of degraded (errored) mission outcomes.
@@ -266,6 +286,7 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 	rec.Add(telemetry.MMissionsPlanned, int64(len(jobs)))
 
 	outcomes := make([]MissionOutcome, len(jobs))
+	atlasStreams := make([][]byte, len(jobs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i, j := range jobs {
@@ -280,7 +301,7 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 		go func(i int, j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			o := fuzzMission(ctx, cfg, fuzzer, ctrl, spoofDistance, j.seed, j.mission, j.cleanVDO, span.ID())
+			o, stream := fuzzMission(ctx, cfg, fuzzer, ctrl, spoofDistance, j.seed, j.mission, j.cleanVDO, span.ID())
 			// Forensics are recorded post-verdict, and only for cracked
 			// or degraded missions, so healthy campaign cells cost no
 			// disk and no extra simulation time.
@@ -288,6 +309,7 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 				recordForensics(cfg, ctrl, spoofDistance, j.mission, o)
 			}
 			outcomes[i] = o
+			atlasStreams[i] = stream
 		}(i, j)
 	}
 	wg.Wait()
@@ -295,6 +317,13 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 		return nil, err
 	}
 	result.Outcomes = outcomes
+	if cfg.AtlasPath != "" {
+		frag, err := buildCellFragment(swarmSize, spoofDistance, atlasStreams, outcomes)
+		if err != nil {
+			return nil, err
+		}
+		result.atlasFragment = frag
+	}
 	return result, nil
 }
 
@@ -304,22 +333,37 @@ func RunCampaign(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, swarmSize 
 // instead of propagating. Each mission gets its own trace span (the
 // fuzzer's stage spans nest under it) and feeds the campaign counters
 // the progress reporter derives its summary from.
+//
+// With cfg.AtlasPath set the mission's search is recorded into an atlas
+// collector and the record stream returned alongside the outcome. Each
+// retry attempt gets a fresh collector and buffer — an abandoned
+// (deadline-killed) attempt's goroutine can only ever write into its
+// own abandoned buffer — and a mission that ultimately degrades
+// contributes no atlas bytes at all.
 func fuzzMission(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, ctrl sim.Controller,
 	spoofDistance float64, seed uint64, mission *sim.Mission, cleanVDO float64,
-	campaign telemetry.SpanID) MissionOutcome {
+	campaign telemetry.SpanID) (MissionOutcome, []byte) {
 	o := MissionOutcome{Seed: seed, VDO: cleanVDO}
 	rec := telemetry.OrNop(cfg.Telemetry)
 	span := rec.StartSpan(campaign, "mission", telemetry.KV("seed", seed))
 	fopts := cfg.Fuzz
 	fopts.Telemetry = cfg.Telemetry
 	fopts.TraceParent = span.ID()
+	var atl *atlas.Collector
+	var atlBuf *bytes.Buffer
 	rep, attempts, err := robust.Retry(ctx, cfg.Retry, func(ctx context.Context) (*fuzz.Report, error) {
+		fo := fopts
+		if cfg.AtlasPath != "" {
+			atlBuf = &bytes.Buffer{}
+			atl = atlas.NewCollector(atlBuf, cfg.Telemetry)
+			fo.Observer = atl
+		}
 		return robust.Call(ctx, cfg.MissionTimeout, func() (*fuzz.Report, error) {
 			return fuzzer.Fuzz(fuzz.Input{
 				Mission:       mission,
 				Controller:    ctrl,
 				SpoofDistance: spoofDistance,
-			}, fopts)
+			}, fo)
 		})
 	})
 	o.Retries = attempts - 1
@@ -345,7 +389,7 @@ func fuzzMission(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, ctrl sim.C
 		// A cancelled campaign discards the cell anyway; anything else
 		// is this mission's own failure and degrades only its outcome.
 		o.Err = err.Error()
-		return o
+		return o, nil
 	}
 	o.VDO = rep.VDO
 	o.Found = rep.Found
@@ -358,7 +402,12 @@ func fuzzMission(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer, ctrl sim.C
 		o.Direction = int(rep.Findings[0].Plan.Direction)
 		o.Objective = rep.Findings[0].Objective
 	}
-	return o
+	if atl != nil && atl.Err() == nil {
+		sum := atl.Summary()
+		o.Search = &sum
+		return o, atlBuf.Bytes()
+	}
+	return o, nil
 }
 
 // Grid runs the full size × distance campaign grid (Tables I and II,
@@ -391,6 +440,16 @@ func Grid(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResul
 						return out, fmt.Errorf("experiments: checkpoint %s holds %d missions, want %d; use a fresh -checkpoint dir when changing -missions",
 							filepath.Join(cfg.Checkpoint, checkpointFile(n, d)), len(cell.Outcomes), cfg.Missions)
 					}
+					if cfg.AtlasPath != "" {
+						// The fragment is written before its checkpoint, so a
+						// resumed cell replays the recorded bytes verbatim and
+						// the final artifact matches an uninterrupted run.
+						frag, err := readCellFragment(cfg.Checkpoint, n, d)
+						if err != nil {
+							return out, err
+						}
+						cell.atlasFragment = frag
+					}
 					out = append(out, cell)
 					continue
 				}
@@ -400,6 +459,14 @@ func Grid(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResul
 				return out, err
 			}
 			if cfg.Checkpoint != "" {
+				// Persist the atlas fragment first: checkpoint-exists must
+				// imply fragment-exists, or a resume could silently drop the
+				// cell's search records.
+				if cfg.AtlasPath != "" {
+					if err := writeCellFragment(cfg.Checkpoint, n, d, cell.atlasFragment); err != nil {
+						return out, err
+					}
+				}
 				span := rec.StartSpan(0, "checkpoint_save",
 					telemetry.KV("swarm_size", n), telemetry.KV("spoof_distance", d))
 				err := SaveCheckpoint(cfg.Checkpoint, cell)
@@ -410,6 +477,16 @@ func Grid(ctx context.Context, cfg Config, fuzzer fuzz.Fuzzer) ([]*CampaignResul
 				rec.Add(telemetry.MCheckpointSaves, 1)
 			}
 			out = append(out, cell)
+		}
+	}
+	if cfg.AtlasPath != "" {
+		if err := writeAtlasArtifact(cfg.AtlasPath, fuzzer.Name(), out); err != nil {
+			return out, err
+		}
+		if cfg.Checkpoint != "" {
+			if err := writeAtlasAggregate(cfg.Checkpoint, fuzzer.Name(), out); err != nil {
+				return out, err
+			}
 		}
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"swarmfuzz/internal/gps"
+	"swarmfuzz/internal/opt"
 	"swarmfuzz/internal/rng"
 	"swarmfuzz/internal/sim"
 	"swarmfuzz/internal/svg"
@@ -130,6 +131,10 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 	if opts.Flight != nil {
 		opts.Flight.Seeds(seeds)
 	}
+	if opts.Observer != nil {
+		opts.Observer.BeginSearch(in.Mission.Config.Seed, rep.VDO, len(seeds))
+		defer func() { opts.Observer.EndSearch(rep.Found) }()
+	}
 
 	if opts.SeedWorkers > 1 && parallelizable && len(seeds) > 1 {
 		return parallelSeedWalk(in, opts, search, searchStage, cr, seeds, rep, rec)
@@ -141,17 +146,17 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 			telemetry.KV("target", seed.Target),
 			telemetry.KV("victim", seed.Victim),
 			telemetry.KV("direction", seed.Direction.String()))
-		var trace searchTrace
-		if opts.Flight != nil {
-			seed := seed
-			trace = func(iter int, ts, dt, value float64) {
-				opts.Flight.Search(seed, iter, ts, dt, value)
-			}
+		if opts.Observer != nil {
+			opts.Observer.SeedStart(seed)
 		}
+		trace := seedTrace(opts, seed)
 		iters, finding, err := search(in, seed, cr, opts, rec, trace, nil)
 		rep.IterationsToFind += iters
 		rec.Add(telemetry.MSearchIters, int64(iters))
 		span.End(telemetry.KV("iters", iters), telemetry.KV("found", finding != nil))
+		if opts.Observer != nil {
+			opts.Observer.SeedEnd(seed, iters, finding != nil, errString(err))
+		}
 		if err != nil {
 			rep.SeedErrors = append(rep.SeedErrors,
 				fmt.Sprintf("seed T%d-V%d: %v", seed.Target, seed.Victim, err))
@@ -167,6 +172,31 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 		}
 	}
 	return rep, nil
+}
+
+// seedTrace builds the per-seed iterate sink feeding the flight log
+// and the search observer; nil when neither is recording (so searches
+// skip the trace plumbing entirely).
+func seedTrace(opts Options, seed svg.Seed) searchTrace {
+	if opts.Flight == nil && opts.Observer == nil {
+		return nil
+	}
+	return func(it opt.Iterate) {
+		if opts.Flight != nil {
+			opts.Flight.Search(seed, it.Iter, it.TS, it.DT, it.Value)
+		}
+		if opts.Observer != nil {
+			opts.Observer.SeedIterate(seed, it)
+		}
+	}
+}
+
+// errString renders an error for observer consumption ("" = none).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // recordWitness logs a finding to the flight log and re-runs its spoof
@@ -234,6 +264,7 @@ func gradientSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec 
 func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec telemetry.Recorder, trace searchTrace, stop func() bool) (int, *Finding, error) {
 	horizon := clean.res.Duration
 	iters := 0
+	best := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterPerSeed; iter++ {
 		if stop != nil && stop() {
 			return iters, nil, errSpeculationStopped
@@ -252,8 +283,14 @@ func randomSearch(in Input, seed svg.Seed, clean *cleanRun, opts Options, rec te
 		if err != nil {
 			return iters, nil, err
 		}
+		accepted := ev.objective < best
+		if accepted {
+			best = ev.objective
+		}
 		if trace != nil {
-			trace(iter, ts, dt, ev.objective)
+			// Random sampling has no gradient or step: the structured
+			// iterate carries the probe-termination sentinel values.
+			trace(opt.Iterate{Iter: iter, TS: ts, DT: dt, Value: ev.objective, GradNorm: -1, Accepted: accepted})
 		}
 		if ev.success {
 			return iters, &Finding{

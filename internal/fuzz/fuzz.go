@@ -110,6 +110,39 @@ type Options struct {
 	// finding — the finding itself plus a fully recorded witness re-run
 	// of its spoof plan. Nil (the default) disables recording.
 	Flight *flightlog.MissionLog
+	// Observer, when non-nil, receives the structured convergence
+	// stream of the seed walk: one BeginSearch per mission, then per
+	// seed a SeedStart, every counted optimizer iterate, and a SeedEnd,
+	// closed by EndSearch. All calls are made from the committing
+	// goroutine in schedule order — also under SeedWorkers > 1 — so
+	// implementations need no locking and fixed-seed streams are
+	// deterministic. Nil (the default) disables observation.
+	Observer SearchObserver
+}
+
+// SearchObserver receives the search-convergence stream of one
+// mission's seed walk. The call sequence is
+//
+//	BeginSearch (SeedStart SeedIterate* SeedEnd)* EndSearch
+//
+// in seed-schedule order, from a single goroutine. The interface is
+// deliberately free of fuzz-package parameter types so observers (the
+// atlas collector) can satisfy it without importing this package.
+type SearchObserver interface {
+	// BeginSearch opens a mission's stream: the mission seed, the
+	// clean-run VDO (victim distance to obstacle) and the number of
+	// scheduled seeds about to be walked.
+	BeginSearch(missionSeed uint64, vdo float64, seeds int)
+	// SeedStart announces the next seed of the schedule.
+	SeedStart(seed svg.Seed)
+	// SeedIterate reports one counted optimizer iterate of the seed's
+	// parameter search, in iteration order.
+	SeedIterate(seed svg.Seed, it opt.Iterate)
+	// SeedEnd closes a seed: iterations consumed, whether it cracked,
+	// and the search error ("" = none).
+	SeedEnd(seed svg.Seed, iters int, found bool, errMsg string)
+	// EndSearch closes the mission's stream with the overall verdict.
+	EndSearch(found bool)
 }
 
 // DefaultOptions returns the paper's parameterisation.
@@ -303,10 +336,11 @@ func approachTime(m *sim.Mission, traj *sim.Trajectory, lead float64) float64 {
 	return 0
 }
 
-// searchTrace observes one search iterate of one seed; the sequential
-// walk wires it straight to the flight log's Search record, the
-// speculative walk to a replay buffer committed in schedule order.
-type searchTrace func(iter int, ts, dt, value float64)
+// searchTrace observes one structured search iterate of one seed; the
+// sequential walk wires it straight to the flight log's Search record
+// and the SearchObserver, the speculative walk to a replay buffer
+// committed in schedule order.
+type searchTrace func(it opt.Iterate)
 
 // errSpeculationStopped aborts a speculative seed search after an
 // earlier seed cracked (or errored). The outcome carrying it is
@@ -442,12 +476,16 @@ func searchSeed(in Input, seed svg.Seed, clean *sim.Result, opts Options, rec te
 		g.Horizon = horizon
 		g.Batch = batch
 		if trace != nil {
-			// The flight log's iterate trail numbers iterations across
-			// the whole multi-start schedule, matching the per-seed
-			// budget accounting.
+			// The iterate trail numbers iterations across the whole
+			// multi-start schedule, matching the per-seed budget
+			// accounting. opt.Observe fires exactly once per counted
+			// iterate with the same point and value Trace reports, so
+			// the flight log's search trail is unchanged by deriving it
+			// from the structured stream.
 			base := acc.Iters
-			g.Trace = func(iter int, ts, dt, value float64) {
-				trace(base+iter, ts, dt, value)
+			g.Observe = func(it opt.Iterate) {
+				it.Iter += base
+				trace(it)
 			}
 		}
 		res, err := opt.Minimize(objective, math.Max(s[0], 0), math.Max(s[1], 0.5), g)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"swarmfuzz/internal/opt"
 	"swarmfuzz/internal/svg"
 	"swarmfuzz/internal/telemetry"
 )
@@ -87,19 +88,15 @@ func (b *bufRecorder) replay(rec telemetry.Recorder) {
 	}
 }
 
-// searchPoint is one buffered flight-log search iterate.
-type searchPoint struct {
-	iter          int
-	ts, dt, value float64
-}
-
 // seedOutcome is one worker's result for one seed, pending commitment.
+// The trail buffers the seed's structured iterates for in-order replay
+// into the flight log and the search observer.
 type seedOutcome struct {
 	iters   int
 	finding *Finding
 	err     error
 	rec     *bufRecorder
-	trail   []searchPoint
+	trail   []opt.Iterate
 }
 
 // parallelSeedWalk is the speculative counterpart of fuzzWith's
@@ -140,9 +137,9 @@ func parallelSeedWalk(in Input, opts Options, search searchFn, searchStage strin
 				buf := &bufRecorder{parent: rec}
 				var out seedOutcome
 				var trace searchTrace
-				if opts.Flight != nil {
-					trace = func(iter int, ts, dt, value float64) {
-						out.trail = append(out.trail, searchPoint{iter: iter, ts: ts, dt: dt, value: value})
+				if opts.Flight != nil || opts.Observer != nil {
+					trace = func(it opt.Iterate) {
+						out.trail = append(out.trail, it)
 					}
 				}
 				out.iters, out.finding, out.err = search(in, seeds[i], cr, opts, buf, trace, stop)
@@ -165,15 +162,21 @@ func parallelSeedWalk(in Input, opts Options, search searchFn, searchStage strin
 			telemetry.KV("target", seed.Target),
 			telemetry.KV("victim", seed.Victim),
 			telemetry.KV("direction", seed.Direction.String()))
+		if opts.Observer != nil {
+			opts.Observer.SeedStart(seed)
+		}
 		out.rec.replay(rec)
-		if opts.Flight != nil {
-			for _, p := range out.trail {
-				opts.Flight.Search(seed, p.iter, p.ts, p.dt, p.value)
+		if trace := seedTrace(opts, seed); trace != nil {
+			for _, it := range out.trail {
+				trace(it)
 			}
 		}
 		rep.IterationsToFind += out.iters
 		rec.Add(telemetry.MSearchIters, int64(out.iters))
 		span.End(telemetry.KV("iters", out.iters), telemetry.KV("found", out.finding != nil))
+		if opts.Observer != nil {
+			opts.Observer.SeedEnd(seed, out.iters, out.finding != nil, errString(out.err))
+		}
 		if out.err != nil {
 			rep.SeedErrors = append(rep.SeedErrors,
 				fmt.Sprintf("seed T%d-V%d: %v", seed.Target, seed.Victim, out.err))

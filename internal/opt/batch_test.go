@@ -38,10 +38,12 @@ func TestBatchMatchesSequential(t *testing.T) {
 			opts.Horizon = horizon
 
 			var seqTrace, batTrace [][4]float64
+			var seqObs, batObs []Iterate
 			seqOpts := opts
 			seqOpts.Trace = func(iter int, ts, dt, v float64) {
 				seqTrace = append(seqTrace, [4]float64{float64(iter), ts, dt, v})
 			}
+			seqOpts.Observe = func(it Iterate) { seqObs = append(seqObs, it) }
 			seq, err := Minimize(f, 2, 4, seqOpts)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
@@ -51,6 +53,7 @@ func TestBatchMatchesSequential(t *testing.T) {
 			batOpts.Trace = func(iter int, ts, dt, v float64) {
 				batTrace = append(batTrace, [4]float64{float64(iter), ts, dt, v})
 			}
+			batOpts.Observe = func(it Iterate) { batObs = append(batObs, it) }
 			batCalls := 0
 			batOpts.Batch = func(pts [][2]float64) []float64 {
 				batCalls++
@@ -83,6 +86,60 @@ func TestBatchMatchesSequential(t *testing.T) {
 				// One batch call per candidate iteration (probe-hit ends
 				// on a probe, which adds an extra counted iteration).
 				t.Errorf("%s: %d batch calls for %d iterations", name, batCalls, bat.Iters)
+			}
+
+			// Structured observation parity: one Iterate per counted
+			// iteration, identical across the two paths.
+			if len(seqObs) != len(batObs) {
+				t.Fatalf("%s: observe lengths differ: %d vs %d", name, len(seqObs), len(batObs))
+			}
+			for i := range seqObs {
+				if seqObs[i] != batObs[i] {
+					t.Errorf("%s: observe entry %d differs: %+v vs %+v", name, i, seqObs[i], batObs[i])
+				}
+			}
+			if len(seqObs) != seq.Iters {
+				t.Errorf("%s: %d observations for %d iterations", name, len(seqObs), seq.Iters)
+			}
+
+			// The final accepted iterate — the one Result reports — must
+			// appear in both the Trace and the Observe streams, in both
+			// paths. For a found collision it is specifically the LAST
+			// entry.
+			for _, tc := range []struct {
+				path  string
+				res   Result
+				trace [][4]float64
+				obs   []Iterate
+			}{
+				{"sequential", seq, seqTrace, seqObs},
+				{"batched", bat, batTrace, batObs},
+			} {
+				want := [4]float64{0, tc.res.TS, tc.res.DT, tc.res.Value}
+				found := -1
+				for i, e := range tc.trace {
+					if e[1] == want[1] && e[2] == want[2] && e[3] == want[3] {
+						found = i
+					}
+				}
+				if found < 0 {
+					t.Errorf("%s %s: final accepted iterate (%g,%g)=%g never traced",
+						name, tc.path, tc.res.TS, tc.res.DT, tc.res.Value)
+				} else if tc.res.Found && found != len(tc.trace)-1 {
+					t.Errorf("%s %s: found-collision iterate traced at %d, want last (%d)",
+						name, tc.path, found, len(tc.trace)-1)
+				}
+				last := tc.obs[len(tc.obs)-1]
+				if tc.res.Found {
+					if !last.Accepted || last.TS != tc.res.TS || last.DT != tc.res.DT || last.Value != tc.res.Value {
+						t.Errorf("%s %s: last observation %+v does not match result %+v", name, tc.path, last, tc.res)
+					}
+					if last.GradNorm != -1 || last.StepSize != 0 {
+						t.Errorf("%s %s: terminating observation should carry GradNorm=-1 StepSize=0, got %+v", name, tc.path, last)
+					}
+				} else if last.GradNorm < 0 {
+					t.Errorf("%s %s: non-terminating last observation missing gradient norm: %+v", name, tc.path, last)
+				}
 			}
 		}
 	}

@@ -45,6 +45,14 @@ type Options struct {
 	// terminate the search (a probe that finds the collision counts as
 	// an iteration, matching Result.Iters).
 	Trace func(iter int, ts, dt, value float64)
+	// Observe, when non-nil, receives one structured Iterate per
+	// counted iteration, in the same order Trace fires. Unlike Trace it
+	// carries the finite-difference gradient norm and the projected
+	// step the descent took from this iterate, so it is emitted after
+	// the gradient probes (or immediately, with GradNorm < 0, when the
+	// iterate terminates the search). The sequential and batched paths
+	// produce identical Observe sequences.
+	Observe func(Iterate)
 	// Batch, when non-nil, evaluates a whole iteration's points at
 	// once — pts[0] is the candidate, pts[1:] the finite-difference
 	// probes — and returns one value per point, enabling the caller to
@@ -55,6 +63,28 @@ type Options struct {
 	// (telemetry accounting) must apply the same gate. The returned
 	// slice is read before the next Batch call and may be reused.
 	Batch func(pts [][2]float64) []float64
+}
+
+// Iterate is one structured record of the descent: the counted
+// iteration (matching Trace's index), the evaluated point and value,
+// and — when the iterate did not terminate the search — the estimated
+// gradient norm and the projected step taken from it.
+type Iterate struct {
+	// Iter is the zero-based counted iteration, identical to the index
+	// Trace reports.
+	Iter int
+	// TS, DT and Value are the evaluated point and its objective.
+	TS, DT, Value float64
+	// GradNorm is the Euclidean norm of the forward-difference
+	// gradient estimate, or -1 when the iterate terminated the search
+	// before probing (a candidate or probe that found the collision).
+	GradNorm float64
+	// StepSize is |Δt_s| + |ΔΔt| of the projected update taken from
+	// this iterate; 0 when the iterate terminated the search.
+	StepSize float64
+	// Accepted reports whether the iterate improved the best value
+	// seen so far (and so became Result.TS/DT/Value at the time).
+	Accepted bool
 }
 
 // DefaultOptions returns the parameterisation used by SwarmFuzz: the
@@ -135,11 +165,13 @@ func Minimize(f Objective, ts0, dt0 float64, opts Options) (Result, error) {
 		if opts.Trace != nil {
 			opts.Trace(res.Iters-1, ts, dt, v)
 		}
-		if v < res.Value {
+		accepted := v < res.Value
+		if accepted {
 			res.Value, res.TS, res.DT = v, ts, dt
 		}
 		if v <= 0 {
 			res.Found = true
+			observe(opts, Iterate{Iter: res.Iters - 1, TS: ts, DT: dt, Value: v, GradNorm: -1, Accepted: accepted})
 			return res, nil
 		}
 
@@ -151,6 +183,10 @@ func Minimize(f Objective, ts0, dt0 float64, opts Options) (Result, error) {
 		res.Evals += 2
 		gts := (vts - v) / h
 		gdt := (vdt - v) / h
+		candIt := Iterate{
+			Iter: res.Iters - 1, TS: ts, DT: dt, Value: v,
+			GradNorm: math.Hypot(gts, gdt), Accepted: accepted,
+		}
 
 		// A probe itself may have found the collision.
 		if vts <= 0 {
@@ -160,6 +196,8 @@ func Minimize(f Objective, ts0, dt0 float64, opts Options) (Result, error) {
 			if opts.Trace != nil {
 				opts.Trace(res.Iters-1, ts+h, dt, vts)
 			}
+			observe(opts, candIt) // no step taken from the candidate
+			observe(opts, Iterate{Iter: res.Iters - 1, TS: ts + h, DT: dt, Value: vts, GradNorm: -1, Accepted: true})
 			return res, nil
 		}
 		if vdt <= 0 {
@@ -169,16 +207,28 @@ func Minimize(f Objective, ts0, dt0 float64, opts Options) (Result, error) {
 			if opts.Trace != nil {
 				opts.Trace(res.Iters-1, ts, dt+h, vdt)
 			}
+			observe(opts, candIt) // no step taken from the candidate
+			observe(opts, Iterate{Iter: res.Iters - 1, TS: ts, DT: dt + h, Value: vdt, GradNorm: -1, Accepted: true})
 			return res, nil
 		}
 
 		nts, ndt := project(ts-opts.LearningRate*gts, dt-opts.LearningRate*gdt, opts)
-		if math.Abs(nts-ts)+math.Abs(ndt-dt) < opts.MinStep {
+		step := math.Abs(nts-ts) + math.Abs(ndt-dt)
+		candIt.StepSize = step
+		observe(opts, candIt)
+		if step < opts.MinStep {
 			break // stalled
 		}
 		ts, dt = nts, ndt
 	}
 	return res, nil
+}
+
+// observe forwards an Iterate to the Observe hook when one is set.
+func observe(opts Options, it Iterate) {
+	if opts.Observe != nil {
+		opts.Observe(it)
+	}
 }
 
 // project clamps (ts, dt) to the feasible region: both non-negative,

@@ -244,6 +244,14 @@ func (c *Client) Trace(ctx context.Context, id string) ([]telemetry.SpanEvent, e
 	return telemetry.ReadSpans(bytes.NewReader(raw))
 }
 
+// Atlas returns a finished job's raw search-atlas artifact bytes
+// (JSONL; the job must have been submitted with Atlas set).
+func (c *Client) Atlas(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/atlas", nil, &raw)
+	return raw, err
+}
+
 // Cancel asks the daemon to stop a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (serve.JobStatus, error) {
 	var st serve.JobStatus

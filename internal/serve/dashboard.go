@@ -146,7 +146,23 @@ footer { margin-top: 24px; color: var(--text-muted); font-size: 12px; }
   <div class="card wide bars" id="kindbars"></div>
 </section>
 
-<footer>Feed: <code>/v1/stats/events</code> &middot; snapshot: <code>/v1/stats</code> &middot; metrics: <code>/metrics</code></footer>
+<section>
+  <h2>Search atlas</h2>
+  <div class="card wide">
+    <form id="atlasform">
+      <label for="atlasid" style="color: var(--text-secondary); font-size: 13px;">Job id</label>
+      <input id="atlasid" placeholder="j000042" style="margin: 0 8px; padding: 4px 8px;
+        background: var(--page); color: var(--text-primary);
+        border: 1px solid var(--border); border-radius: 4px; font: inherit;">
+      <button type="submit" style="padding: 4px 12px; background: var(--series-1); color: #fff;
+        border: 0; border-radius: 4px; font: inherit; cursor: pointer;">Open atlas</button>
+      <span class="sub" style="color: var(--text-muted); font-size: 12px; margin-left: 8px;">
+        convergence trails &amp; crack-rate heatmap for jobs submitted with <code>atlas</code></span>
+    </form>
+  </div>
+</section>
+
+<footer>Feed: <code>/v1/stats/events</code> &middot; snapshot: <code>/v1/stats</code> &middot; metrics: <code>/metrics</code> &middot; atlas: <code>/v1/jobs/{id}/atlas?format=html</code></footer>
 
 <script>
 (function () {
@@ -216,6 +232,12 @@ footer { margin-top: 24px; color: var(--text-muted); font-size: 12px; }
     });
     document.getElementById("kindbars").innerHTML = html || "<span class=\"name\">no jobs yet</span>";
   }
+
+  document.getElementById("atlasform").addEventListener("submit", function (ev) {
+    ev.preventDefault();
+    var id = document.getElementById("atlasid").value.trim();
+    if (id) window.location = "/v1/jobs/" + encodeURIComponent(id) + "/atlas?format=html";
+  });
 
   var es = new EventSource("/v1/stats/events");
   es.addEventListener("stats", function (ev) {

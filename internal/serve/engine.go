@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
 
+	"swarmfuzz/internal/atlas"
 	"swarmfuzz/internal/chaos"
 	"swarmfuzz/internal/experiments"
 	"swarmfuzz/internal/flightlog"
@@ -580,6 +583,33 @@ func (e *Engine) Report(id string) ([]byte, error) {
 	return data, err
 }
 
+// Atlas returns the job's search-atlas artifact bytes, verbatim as the
+// job recorded them. ErrConflict means the job has not finished or was
+// not submitted with atlas recording enabled.
+func (e *Engine) Atlas(id string) ([]byte, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if j.status.State != StateDone {
+		st := j.status.State
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: job is %s, atlas exists once done", ErrConflict, st)
+	}
+	recorded := j.spec.Atlas
+	e.mu.Unlock()
+	if !recorded {
+		return nil, fmt.Errorf("%w: job was submitted without atlas recording", ErrConflict)
+	}
+	data, err := e.store.ReadAtlasArtifact(id)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: atlas artifact missing from the store", ErrConflict)
+	}
+	return data, err
+}
+
 // Cancel stops a queued or running job. Cancelling a queued job
 // settles it immediately; a running one is interrupted and settles
 // when its worker observes the cancellation.
@@ -909,6 +939,19 @@ func (e *Engine) runFuzz(ctx context.Context, id string, spec JobSpec, fuzzer fu
 	}
 	opts := spec.FuzzOptions()
 	opts.Telemetry = rec
+	// The atlas stream is buffered and persisted whole on success, with
+	// the same header/end framing cmd/swarmfuzz writes, so the served
+	// artifact is byte-identical to a same-seed CLI run's.
+	var atlasBuf *bytes.Buffer
+	var atlasCol *atlas.Collector
+	if spec.Atlas {
+		atlasBuf = &bytes.Buffer{}
+		if err := atlas.WriteHeader(atlasBuf, fuzzer.Name()); err != nil {
+			return nil, err
+		}
+		atlasCol = atlas.NewCollector(atlasBuf, rec)
+		opts.Observer = atlasCol
+	}
 	if spec.Flightlog {
 		terms, _ := ctrl.(flightlog.TermSource)
 		arch, err := flightlog.NewArchive(e.store.FlightDir(id), terms)
@@ -941,6 +984,17 @@ func (e *Engine) runFuzz(ctx context.Context, id string, spec JobSpec, fuzzer fu
 	if err != nil {
 		return nil, err
 	}
+	if atlasBuf != nil {
+		// Observability never fails a job: an atlas that cannot be
+		// recorded or persisted degrades to a warning.
+		if aerr := atlasCol.Err(); aerr != nil {
+			e.log.Warnf("job %s: atlas collection: %v (artifact not written)", id, aerr)
+		} else if aerr := atlas.WriteAtlasEnd(atlasBuf, 0, 1); aerr != nil {
+			e.log.Warnf("job %s: atlas framing: %v (artifact not written)", id, aerr)
+		} else if werr := e.store.writeFileAtomic(e.store.AtlasPath(id), atlasBuf.Bytes()); werr != nil {
+			e.log.Warnf("job %s: persist atlas: %v", id, werr)
+		}
+	}
 	return MarshalReport(NewFuzzReport(spec, rep))
 }
 
@@ -956,6 +1010,9 @@ func (e *Engine) runCampaign(ctx context.Context, id string, spec JobSpec, fuzze
 	cfg.Checkpoint = e.store.CheckpointDir(id)
 	if spec.Flightlog {
 		cfg.FlightDir = e.store.FlightDir(id)
+	}
+	if spec.Atlas {
+		cfg.AtlasPath = e.store.AtlasPath(id)
 	}
 	cells, err := experiments.Grid(ctx, cfg, fuzzer)
 	if err != nil {

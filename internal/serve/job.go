@@ -88,6 +88,10 @@ type JobSpec struct {
 	// flights/ directory; Postmortem renders HTML next to each.
 	Flightlog  bool `json:"flightlog,omitempty"`
 	Postmortem bool `json:"postmortem,omitempty"`
+	// Atlas records the search-atlas artifact (per-seed convergence
+	// trails and landscape aggregates) under the job directory, served
+	// by GET /v1/jobs/{id}/atlas once the job is done.
+	Atlas bool `json:"atlas,omitempty"`
 
 	// IdempotencyKey makes submission retries safe: a spec carrying a
 	// key the engine has already accepted returns the existing job

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"swarmfuzz/internal/atlas"
 	"swarmfuzz/internal/telemetry"
 )
 
@@ -26,6 +28,10 @@ import (
 //	GET    /v1/jobs/{id}/stats  progress snapshot      → 200 JobProgress
 //	GET    /v1/jobs/{id}/trace  span tree              → 200 JSONL of
 //	                            telemetry.SpanEvent, root = job span
+//	GET    /v1/jobs/{id}/atlas  search atlas           → 200 JSONL of
+//	                            atlas records, verbatim as recorded
+//	                            (?format=html renders the XHTML atlas
+//	                            page); jobs submitted with "atlas": true
 //	DELETE /v1/jobs/{id}        cancel                 → 202 JobStatus
 //	GET    /v1/stats            fleet aggregates       → 200 FleetStats
 //	GET    /v1/stats/events     stats feed             → 200 SSE, one
@@ -58,6 +64,7 @@ func NewServer(e *Engine, reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.jobStats)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
+	mux.HandleFunc("GET /v1/jobs/{id}/atlas", s.atlas)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /v1/stats/events", s.statsEvents)
@@ -242,6 +249,30 @@ func (s *server) trace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// atlas serves the job's search-atlas artifact. The stored bytes go
+// out verbatim — like the report, the artifact is promised to be
+// byte-identical to a same-seed CLI run's — unless ?format=html asks
+// for the rendered XHTML atlas page.
+func (s *server) atlas(w http.ResponseWriter, r *http.Request) {
+	data, err := s.engine.Atlas(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "html" {
+		doc, err := atlas.ReadAtlas(bytes.NewReader(data))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xhtml+xml; charset=utf-8")
+		_ = atlas.RenderXHTML(doc, w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = w.Write(data)
 }
 
 // dashboard serves the self-contained live ops page.

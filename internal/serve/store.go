@@ -128,6 +128,14 @@ func (s *Store) EventsPath(id string) string { return filepath.Join(s.JobDir(id)
 // TracePath returns the job's span trace path.
 func (s *Store) TracePath(id string) string { return filepath.Join(s.JobDir(id), "trace.jsonl") }
 
+// AtlasPath returns the job's search-atlas artifact path.
+func (s *Store) AtlasPath(id string) string { return filepath.Join(s.JobDir(id), "atlas.jsonl") }
+
+// ReadAtlasArtifact returns the job's search-atlas artifact bytes.
+func (s *Store) ReadAtlasArtifact(id string) ([]byte, error) {
+	return s.fs.ReadFile(s.AtlasPath(id))
+}
+
 // FormatID renders the canonical job id for a sequence number. Ids are
 // zero-padded so lexical order is submission order.
 func FormatID(n int) string { return fmt.Sprintf("j%06d", n) }

@@ -44,6 +44,59 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases pins the degenerate histogram shapes: the
+// quantile must always be finite and monotone in q, because the values
+// feed JSON stats documents that cannot carry NaN/Inf.
+func TestQuantileEdgeCases(t *testing.T) {
+	finite := func(name string, h HistogramSnapshot) {
+		t.Helper()
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			got := h.Quantile(q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("%s: Quantile(%v) = %v, want finite", name, q, got)
+			}
+			if got < prev-1e-12 {
+				t.Fatalf("%s: Quantile(%v) = %v < Quantile at lower q (%v): not monotone", name, q, got, prev)
+			}
+			prev = got
+		}
+	}
+
+	// Truly empty: no bounds, no counts.
+	empty := HistogramSnapshot{}
+	finite("empty", empty)
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+
+	// Single finite bucket holding everything.
+	single := HistogramSnapshot{Bounds: []float64{2}, Counts: []uint64{5, 0}, Count: 5}
+	finite("single-bucket", single)
+	if got := single.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("single-bucket Quantile(1) = %v, want 2", got)
+	}
+	if got := single.Quantile(0); got < 0 || got > 2 {
+		t.Errorf("single-bucket Quantile(0) = %v, want within [0,2]", got)
+	}
+
+	// Every observation in the +Inf overflow bucket: the largest
+	// finite bound is the best finite statement at any q.
+	overflow := HistogramSnapshot{Bounds: []float64{1, 2, 4}, Counts: []uint64{0, 0, 0, 9}, Count: 9}
+	finite("all-overflow", overflow)
+	if got := overflow.Quantile(1); got != 4 {
+		t.Errorf("all-overflow Quantile(1) = %v, want 4", got)
+	}
+
+	// q outside [0,1] clamps rather than extrapolating.
+	if got := single.Quantile(2); math.Abs(got-2) > 1e-9 {
+		t.Errorf("clamped Quantile(2) = %v, want 2", got)
+	}
+	if got := single.Quantile(-3); got != single.Quantile(0) {
+		t.Errorf("clamped Quantile(-3) = %v, want %v", got, single.Quantile(0))
+	}
+}
+
 // TestWritePrometheusGolden pins the full exposition byte-for-byte,
 // including # HELP lines, so format regressions are caught exactly.
 func TestWritePrometheusGolden(t *testing.T) {

@@ -70,11 +70,28 @@ const (
 // means the search is converging on a collision.
 const MBestObjective = "fuzz_best_spv_objective"
 
+// Search-atlas metrics: the convergence view of the parameter search
+// itself, recorded by the atlas collector in seed-commit order.
+const (
+	// MSearchStalls counts seed searches classified as stalled — the
+	// descent's objective flat-lined before the budget ran out.
+	MSearchStalls = "fuzz_search_stalls_total"
+	// MItersPerCrack histograms the search iterations each cracked
+	// seed consumed before its SPV was found.
+	MItersPerCrack = "fuzz_search_iters_per_crack"
+	// MGradientNorm gauges the latest finite-difference gradient norm
+	// observed by the descent; a near-zero value on a positive
+	// objective means the search is on a plateau.
+	MGradientNorm = "fuzz_gradient_norm"
+)
+
 // histBounds fixes per-metric histogram bucket bounds. Metrics not
 // listed fall back to DefaultBuckets.
 var histBounds = map[string][]float64{
 	// Single simulations run in the low milliseconds.
 	MSimWallSeconds: {.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5},
+	// The per-seed budget is ~20 iterations (paper), multi-start.
+	MItersPerCrack: {1, 2, 3, 5, 8, 12, 16, 20, 30, 40},
 }
 
 func init() {
@@ -98,6 +115,9 @@ func init() {
 		MFlightsRecorded:     "Mission flight logs written.",
 		MPostmortems:         "HTML post-mortems rendered.",
 		MBestObjective:       "Best (lowest) SPV objective found so far by a fuzzing run.",
+		MSearchStalls:        "Seed searches whose descent stalled on a plateau.",
+		MItersPerCrack:       "Search iterations consumed per cracked seed.",
+		MGradientNorm:        "Latest finite-difference gradient norm seen by the descent.",
 	} {
 		RegisterHelp(name, help)
 	}

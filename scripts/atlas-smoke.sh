@@ -1,0 +1,129 @@
+#!/bin/sh
+# atlas-smoke proves the search atlas end to end on real binaries:
+#
+#  1. the golden + checkpoint-resume pins (fixed-seed grid atlases are
+#     byte-identical across runs, across an interrupted resume, and
+#     against the committed golden file) via the Go tests that own them,
+#  2. two identical `swarmfuzz -atlas` runs produce byte-identical
+#     artifacts at the CLI,
+#  3. a grid job served by a real swarmfuzzd with atlas recording on
+#     yields a framed artifact with a populated cell, a summary table,
+#     and an XHTML page that passes a strict XML well-formedness check
+#     (tools/xmlwf), and a second identical job yields identical bytes.
+#
+# Wired into CI via `make atlas-smoke`.
+set -eu
+
+TMP=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+	[ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+	[ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "atlas-smoke: golden + checkpoint-resume byte-identity pins"
+go test -count=1 -run 'TestGridAtlas' ./internal/experiments/
+go test -count=1 -run 'TestObserverParallelWalkByteIdentity|TestCollector' ./internal/fuzz/ ./internal/atlas/
+
+echo "atlas-smoke: building swarmfuzz and swarmfuzzd"
+go build -o "$TMP/swarmfuzz" ./cmd/swarmfuzz
+go build -o "$TMP/swarmfuzzd" ./cmd/swarmfuzzd
+
+echo "atlas-smoke: two identical CLI runs must write identical artifacts"
+"$TMP/swarmfuzz" -n 3 -seed 1 -dist 10 -iters 2 -atlas "$TMP/cli1.jsonl" > /dev/null
+"$TMP/swarmfuzz" -n 3 -seed 1 -dist 10 -iters 2 -atlas "$TMP/cli2.jsonl" > /dev/null
+cmp "$TMP/cli1.jsonl" "$TMP/cli2.jsonl" || {
+	echo "atlas-smoke: CLI atlas is not deterministic" >&2
+	exit 1
+}
+grep -q '"type":"atlas_end"' "$TMP/cli1.jsonl" || {
+	echo "atlas-smoke: CLI artifact is unframed:" >&2
+	cat "$TMP/cli1.jsonl" >&2
+	exit 1
+}
+
+echo "atlas-smoke: starting a daemon on an ephemeral port"
+"$TMP/swarmfuzzd" serve \
+	-addr 127.0.0.1:0 -addr-file "$TMP/addr" \
+	-store "$TMP/store" -workers 1 -drain 5s &
+DAEMON_PID=$!
+i=0
+while [ ! -s "$TMP/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "atlas-smoke: daemon never wrote $TMP/addr" >&2
+		exit 1
+	fi
+	if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+		echo "atlas-smoke: daemon exited before listening" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+ADDR=$(cat "$TMP/addr")
+
+echo "atlas-smoke: running the same atlas-recorded grid job twice"
+submit_grid() {
+	"$TMP/swarmfuzzd" submit -addr "$ADDR" \
+		-kind grid -sizes 3 -dists 10 -missions 1 -iters 2 -max-seeds 1 \
+		-workers 1 -atlas
+}
+JOB1=$(submit_grid)
+"$TMP/swarmfuzzd" wait -addr "$ADDR" "$JOB1" > /dev/null
+JOB2=$(submit_grid)
+"$TMP/swarmfuzzd" wait -addr "$ADDR" "$JOB2" > /dev/null
+
+"$TMP/swarmfuzzd" atlas -addr "$ADDR" -o "$TMP/served1.jsonl" "$JOB1"
+"$TMP/swarmfuzzd" atlas -addr "$ADDR" -o "$TMP/served2.jsonl" "$JOB2"
+cmp "$TMP/served1.jsonl" "$TMP/served2.jsonl" || {
+	echo "atlas-smoke: served atlas is not deterministic across jobs" >&2
+	exit 1
+}
+# A populated cell: the cell_end record aggregates a non-zero mission
+# count for the 3-drone / 10m cell.
+grep -q '"type":"cell_end"' "$TMP/served1.jsonl" || {
+	echo "atlas-smoke: served artifact has no cell_end record" >&2
+	exit 1
+}
+grep '"type":"cell_end"' "$TMP/served1.jsonl" | grep -q '"missions":0' && {
+	echo "atlas-smoke: served cell aggregates zero missions" >&2
+	exit 1
+}
+
+echo "atlas-smoke: summary table renders"
+"$TMP/swarmfuzzd" atlas -addr "$ADDR" -summary "$JOB1" > "$TMP/summary.txt"
+grep -q 'CRACK-RATE' "$TMP/summary.txt" || {
+	echo "atlas-smoke: atlas summary misses the table header:" >&2
+	cat "$TMP/summary.txt" >&2
+	exit 1
+}
+
+echo "atlas-smoke: XHTML page renders and is well-formed XML"
+"$TMP/swarmfuzzd" atlas -addr "$ADDR" -html "$TMP/atlas.xhtml" "$JOB1" > /dev/null
+grep -qF '<!DOCTYPE html>' "$TMP/atlas.xhtml" || {
+	echo "atlas-smoke: atlas page misses the DOCTYPE" >&2
+	exit 1
+}
+grep -qF 'Crack-rate heatmap' "$TMP/atlas.xhtml" || {
+	echo "atlas-smoke: atlas page misses the heatmap section" >&2
+	exit 1
+}
+go run ./tools/xmlwf "$TMP/atlas.xhtml"
+
+echo "atlas-smoke: a job without recording is a clear non-zero exit"
+PLAIN=$("$TMP/swarmfuzzd" submit -addr "$ADDR" \
+	-kind fuzz -n 3 -seed 1 -dist 10 -iters 2 -max-seeds 1)
+"$TMP/swarmfuzzd" wait -addr "$ADDR" "$PLAIN" > /dev/null
+if "$TMP/swarmfuzzd" atlas -addr "$ADDR" "$PLAIN" > /dev/null 2> "$TMP/err.txt"; then
+	echo "atlas-smoke: atlas on an unrecorded job should fail" >&2
+	exit 1
+fi
+grep -q 'without atlas recording' "$TMP/err.txt" || {
+	echo "atlas-smoke: undirected error for an unrecorded job:" >&2
+	cat "$TMP/err.txt" >&2
+	exit 1
+}
+
+echo "atlas-smoke: OK (golden pinned, CLI and served artifacts deterministic, page well-formed)"

@@ -5,8 +5,10 @@
 # runs a small grid job and checks the observability surface: /v1/stats
 # reports non-zero queue-wait observations, /v1/jobs/{id}/trace yields
 # a parseable span tree rooted at the job span (`swarmfuzzd trace`
-# verifies and exits non-zero otherwise), and /debug/dashboard serves a
-# complete self-contained HTML page. It is the end-to-end proof that
+# verifies and exits non-zero otherwise), /v1/jobs/{id}/atlas serves a
+# framed search atlas with a populated cell plus a well-formed XHTML
+# page, and /debug/dashboard serves a complete self-contained HTML
+# page. It is the end-to-end proof that
 # the daemon, store, API, client and ops views agree — wired into CI
 # via `make serve-smoke`.
 set -eu
@@ -71,7 +73,7 @@ grep -q '"state": "done"' "$TMP/final.json" || {
 
 echo "serve-smoke: submitting a tiny grid job for the observability checks"
 GRID=$("$TMP/swarmfuzzd" submit -addr "$ADDR" \
-	-kind grid -sizes 3 -dists 10 -missions 1 -iters 2 -max-seeds 1 -workers 1)
+	-kind grid -sizes 3 -dists 10 -missions 1 -iters 2 -max-seeds 1 -workers 1 -atlas)
 "$TMP/swarmfuzzd" wait -addr "$ADDR" "$GRID" > "$TMP/grid-final.json"
 grep -q '"state": "done"' "$TMP/grid-final.json" || {
 	echo "serve-smoke: grid job did not finish done:" >&2
@@ -113,6 +115,24 @@ grep -q "root \"job\"" "$TMP/trace.txt" || {
 	exit 1
 }
 
+echo "serve-smoke: fetching the search atlas for $GRID"
+fetch "http://$ADDR/v1/jobs/$GRID/atlas" > "$TMP/atlas.jsonl"
+grep -q '"type":"cell_end"' "$TMP/atlas.jsonl" || {
+	echo "serve-smoke: atlas artifact has no cell_end record:" >&2
+	cat "$TMP/atlas.jsonl" >&2
+	exit 1
+}
+grep '"type":"cell_end"' "$TMP/atlas.jsonl" | grep -q '"missions":0' && {
+	echo "serve-smoke: atlas cell aggregates zero missions" >&2
+	exit 1
+}
+fetch "http://$ADDR/v1/jobs/$GRID/atlas?format=html" > "$TMP/atlas.xhtml"
+grep -qF '<!DOCTYPE html>' "$TMP/atlas.xhtml" || {
+	echo "serve-smoke: atlas page misses the DOCTYPE" >&2
+	exit 1
+}
+go run ./tools/xmlwf "$TMP/atlas.xhtml"
+
 echo "serve-smoke: checking /debug/dashboard"
 fetch "http://$ADDR/debug/dashboard" > "$TMP/dashboard.html"
 for needle in '<!DOCTYPE html>' '</html>' '/v1/stats/events'; do
@@ -134,4 +154,4 @@ grep -q "queue wait" "$TMP/top.txt" || {
 	exit 1
 }
 
-echo "serve-smoke: OK ($JOB done, report persisted; stats, trace, dashboard and top verified on $GRID)"
+echo "serve-smoke: OK ($JOB done, report persisted; stats, trace, atlas, dashboard and top verified on $GRID)"

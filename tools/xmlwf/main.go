@@ -1,0 +1,61 @@
+// Command xmlwf checks XML well-formedness: it tokenises each file
+// argument with a strict decoder and exits non-zero on the first
+// malformed document. It is the smoke tests' guard that the XHTML
+// pages we emit (atlas report, post-mortems) really parse as XML, not
+// just as tag soup a browser would forgive.
+//
+// Usage:
+//
+//	xmlwf page.xhtml [more.xhtml ...]
+package main
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: xmlwf FILE...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "xmlwf: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("xmlwf: %s: ok\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// check tokenises one document to EOF under the strict decoder.
+func check(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := xml.NewDecoder(f)
+	tokens := 0
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		tokens++
+	}
+	if tokens == 0 {
+		return fmt.Errorf("empty document")
+	}
+	return nil
+}
