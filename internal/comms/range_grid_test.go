@@ -1,0 +1,139 @@
+package comms
+
+import (
+	"testing"
+
+	"swarmfuzz/internal/rng"
+	"swarmfuzz/internal/vec"
+)
+
+// rangeBrute is the reference all-pairs range exchange the spatial-hash
+// path must reproduce row for row: for each receiver, every other
+// publisher within radius of its broadcast position, in ascending
+// publisher order (mirroring the collideBrute reference-semantics
+// pattern).
+func rangeBrute(published []State, radius float64) [][]State {
+	out := make([][]State, len(published))
+	for i := range published {
+		var row []State
+		for j := range published {
+			if published[j].ID == published[i].ID {
+				continue
+			}
+			if published[i].Position.Dist(published[j].Position) <= radius {
+				row = append(row, published[j])
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestRangeBusGridMatchesBrute is the property test for the
+// spatial-hash range exchange: for random swarm layouts (including
+// vertical spread, which the 2-D cells ignore but the 3-D range
+// predicate does not) and random radii, ExchangeInto returns
+// row-for-row identical neighbour sets — same states, same order — as
+// the brute-force scan. Publisher counts straddle rangeGridMin so both
+// paths are exercised.
+func TestRangeBusGridMatchesBrute(t *testing.T) {
+	src := rng.New(11)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + int(src.Uniform(0, 100))
+		radius := src.Uniform(0.5, 60)
+		span := src.Uniform(1, 250)
+		published := make([]State, n)
+		for i := range published {
+			published[i] = State{
+				ID: i,
+				Position: vec.New(
+					src.Uniform(-span, span),
+					src.Uniform(-span, span),
+					src.Uniform(-20, 20),
+				),
+				Velocity: vec.New(src.Uniform(-4, 4), src.Uniform(-4, 4), 0),
+				Time:     float64(trial),
+			}
+		}
+		bus, err := NewRangeBus(radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := bus.ExchangeInto(published)
+		want := rangeBrute(published, radius)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d r=%.1f): %d rows, want %d", trial, n, radius, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("trial %d (n=%d r=%.1f) receiver %d: %d neighbours, want %d",
+					trial, n, radius, i, len(got[i]), len(want[i]))
+			}
+			for k := range want[i] {
+				if got[i][k] != want[i][k] {
+					t.Fatalf("trial %d (n=%d r=%.1f) receiver %d position %d: got state of drone %d, want drone %d",
+						trial, n, radius, i, k, got[i][k].ID, want[i][k].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeBusGridReuseAcrossTicks drives one bus through many ticks of
+// a moving swarm, checking the reused grid and candidate scratch never
+// leak state between exchanges.
+func TestRangeBusGridReuseAcrossTicks(t *testing.T) {
+	const n, radius = 40, 15.0
+	bus, err := NewRangeBus(radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	published := make([]State, n)
+	for i := range published {
+		published[i] = State{ID: i, Position: vec.New(src.Uniform(-80, 80), src.Uniform(-80, 80), 10)}
+	}
+	for tick := 0; tick < 25; tick++ {
+		got := bus.ExchangeInto(published)
+		want := rangeBrute(published, radius)
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("tick %d receiver %d: %d neighbours, want %d", tick, i, len(got[i]), len(want[i]))
+			}
+			for k := range want[i] {
+				if got[i][k] != want[i][k] {
+					t.Fatalf("tick %d receiver %d: row differs at %d", tick, i, k)
+				}
+			}
+		}
+		for i := range published {
+			published[i].Position = published[i].Position.Add(
+				vec.New(src.Uniform(-2, 2), src.Uniform(-2, 2), 0))
+		}
+	}
+}
+
+// TestRangeBusGridSteadyStateAllocs pins the zero-allocation contract
+// on the spatial-hash path (the generic steady-state test only covers
+// swarms below rangeGridMin).
+func TestRangeBusGridSteadyStateAllocs(t *testing.T) {
+	const n = 60
+	src := rng.New(5)
+	published := make([]State, n)
+	for i := range published {
+		published[i] = State{ID: i, Position: vec.New(src.Uniform(-100, 100), src.Uniform(-100, 100), 10)}
+	}
+	bus, err := NewRangeBus(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		bus.ExchangeInto(published)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		bus.ExchangeInto(published)
+	})
+	if allocs != 0 {
+		t.Errorf("grid ExchangeInto allocates %v objects/op in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swarmfuzz/internal/fuzz"
+	"swarmfuzz/internal/telemetry"
+)
+
+// batchCapture is everything the batched campaign must reproduce
+// byte-for-byte: rendered tables, the persisted checkpoint cell, and
+// the deterministic simulation counters.
+type batchCapture struct {
+	tables     string
+	checkpoint string
+	simRuns    int64
+	simSteps   int64
+	wallCount  uint64
+	skipped    int
+}
+
+func captureCampaign(t *testing.T, batchSize int) batchCapture {
+	t.Helper()
+	cfg := fastConfig(4)
+	cfg.SwarmSizes = []int{5}
+	cfg.BatchSize = batchSize
+	cfg.Checkpoint = t.TempDir()
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = telemetry.New(reg, nil)
+
+	cells, err := Grid(context.Background(), cfg, fuzz.RFuzz{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+
+	var sb strings.Builder
+	r := NewRunner(cfg, &sb, "")
+	r.grid = cells
+	if err := r.Table1(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Table2(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := os.ReadFile(filepath.Join(cfg.Checkpoint, checkpointFile(5, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	return batchCapture{
+		tables:     sb.String(),
+		checkpoint: string(ck),
+		simRuns:    snap.Counters[telemetry.MSimRuns],
+		simSteps:   snap.Counters[telemetry.MSimSteps],
+		wallCount:  snap.Histograms[telemetry.MSimWallSeconds].Count,
+		skipped:    cells[0].SkippedUnsafe,
+	}
+}
+
+// TestCampaignByteIdenticalAcrossBatchSizes is the acceptance pin for
+// the batched campaign engine: for K ∈ {1, 8, 32} the rendered tables,
+// the checkpoint bytes, the SkippedUnsafe tally and the deterministic
+// sim_runs/sim_steps counters (plus the wall-histogram sample count)
+// are identical to the sequential scan's. make check runs this under
+// -race alongside the sim-level equivalence test.
+func TestCampaignByteIdenticalAcrossBatchSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	base := captureCampaign(t, 0)
+	if base.simRuns == 0 || base.simSteps == 0 {
+		t.Fatalf("baseline recorded no simulation work (runs=%d steps=%d)", base.simRuns, base.simSteps)
+	}
+	for _, k := range []int{1, 8, 32} {
+		got := captureCampaign(t, k)
+		if got.tables != base.tables {
+			t.Errorf("BatchSize=%d: tables differ\nbatched:\n%s\nsequential:\n%s", k, got.tables, base.tables)
+		}
+		if got.checkpoint != base.checkpoint {
+			t.Errorf("BatchSize=%d: checkpoint bytes differ", k)
+		}
+		if got.simRuns != base.simRuns || got.simSteps != base.simSteps {
+			t.Errorf("BatchSize=%d: counters differ: runs %d/%d, steps %d/%d",
+				k, got.simRuns, base.simRuns, got.simSteps, base.simSteps)
+		}
+		if got.wallCount != base.wallCount {
+			t.Errorf("BatchSize=%d: wall samples %d, want %d", k, got.wallCount, base.wallCount)
+		}
+		if got.skipped != base.skipped {
+			t.Errorf("BatchSize=%d: skipped %d, want %d", k, got.skipped, base.skipped)
+		}
+	}
+}

@@ -96,6 +96,13 @@ func fuzzWith(in Input, opts Options, name string, mkSeeds seedFn, search search
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	// Speculative workers beyond the machine's usable parallelism only
+	// add scheduling and channel overhead (on a single-core box,
+	// workers=4 measured ~5% slower than sequential). Results are
+	// byte-identical at any worker count, so clamping is observably
+	// safe; it propagates into both the seed walk and the per-iteration
+	// probe batches.
+	opts.SeedWorkers = clampWorkers(opts.SeedWorkers)
 	rep := &Report{Fuzzer: name}
 	rec := reportRecorder{telemetry.OrNop(opts.Telemetry), rep}
 

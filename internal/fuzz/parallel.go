@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,18 @@ import (
 	"swarmfuzz/internal/svg"
 	"swarmfuzz/internal/telemetry"
 )
+
+// clampWorkers caps a requested speculative worker count at the
+// scheduler's usable parallelism: extra workers cannot run anywhere
+// and only pay goroutine/channel overhead for speculation that is
+// discarded anyway. The walk's output is byte-identical at any worker
+// count, so the clamp changes wall time only.
+func clampWorkers(requested int) int {
+	if max := runtime.GOMAXPROCS(0); requested > max {
+		return max
+	}
+	return requested
+}
 
 // Speculative-parallel seed walk.
 //

@@ -59,6 +59,10 @@ const (
 	// MJobsGCed counts terminal jobs swept from the store by TTL
 	// garbage collection.
 	MJobsGCed = "serve_jobs_gced"
+	// MBatchWidth gauges the lockstep batch width (JobSpec.BatchSize)
+	// of the most recently started campaign/grid job — 0 or 1 means the
+	// sequential clean-safe scan.
+	MBatchWidth = "serve_batch_width"
 )
 
 // robustnessCounters are pre-registered at engine creation so the
@@ -91,6 +95,7 @@ func init() {
 		MIODegraded:                 "Store writes that failed even after retries.",
 		MWatchdogKills:              "Job attempts killed by the stall watchdog.",
 		MJobsGCed:                   "Terminal jobs swept by TTL garbage collection.",
+		MBatchWidth:                 "Lockstep batch width of the last started campaign/grid job.",
 		jobWallMetric(KindFuzz):     "Job wall time, fuzz jobs.",
 		jobWallMetric(KindCampaign): "Job wall time, campaign jobs.",
 		jobWallMetric(KindGrid):     "Job wall time, grid jobs.",
@@ -1007,6 +1012,7 @@ func (e *Engine) runCampaign(ctx context.Context, id string, spec JobSpec, fuzze
 	cfg.Flock = params
 	cfg.Telemetry = rec
 	cfg.Log = e.log
+	e.rec.Set(MBatchWidth, float64(spec.BatchSize))
 	cfg.Checkpoint = e.store.CheckpointDir(id)
 	if spec.Flightlog {
 		cfg.FlightDir = e.store.FlightDir(id)

@@ -77,6 +77,10 @@ type JobSpec struct {
 	// campaign parallelism (0 = GOMAXPROCS).
 	SeedWorkers int `json:"seed_workers,omitempty"`
 	Workers     int `json:"workers,omitempty"`
+	// BatchSize > 1 runs a campaign/grid job's clean-safe mission scan
+	// through the batched SoA engine, BatchSize missions in lockstep;
+	// results are byte-identical to the sequential scan (0 or 1).
+	BatchSize int `json:"batch_size,omitempty"`
 	// MissionTimeoutSec is the per-mission fuzzing deadline in seconds
 	// (for a fuzz job, the whole run's deadline); 0 disables it.
 	MissionTimeoutSec float64 `json:"mission_timeout_seconds,omitempty"`
@@ -165,7 +169,7 @@ func (s JobSpec) Validate(resolve func(string) (fuzz.Fuzzer, error)) error {
 		return fmt.Errorf("serve: unknown job kind %q", s.Kind)
 	}
 	if s.MissionTimeoutSec < 0 || s.Retries < 0 || s.Workers < 0 ||
-		s.SeedWorkers < 0 || s.MaxIterPerSeed < 0 || s.MaxSeeds < 0 {
+		s.SeedWorkers < 0 || s.MaxIterPerSeed < 0 || s.MaxSeeds < 0 || s.BatchSize < 0 {
 		return errors.New("serve: job spec knobs must be non-negative")
 	}
 	if len(s.IdempotencyKey) > 128 {
@@ -227,6 +231,7 @@ func (s JobSpec) CampaignConfig() experiments.Config {
 	cfg.Fuzz.MaxSeeds = s.MaxSeeds
 	cfg.Fuzz.SeedWorkers = s.SeedWorkers
 	cfg.Workers = s.Workers
+	cfg.BatchSize = s.BatchSize
 	cfg.MissionTimeout = s.MissionTimeout()
 	if s.Retries > 0 {
 		cfg.Retry = robust.Policy{MaxAttempts: 1 + s.Retries,

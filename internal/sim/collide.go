@@ -1,6 +1,6 @@
 package sim
 
-import "math"
+import "swarmfuzz/internal/spatial"
 
 // Drone-drone collision detection.
 //
@@ -16,21 +16,17 @@ import "math"
 // droneCollider picks between the brute-force scan (small swarms,
 // where the grid's bookkeeping costs more than it saves) and a spatial
 // hash over 2D cells of side = threshold (large swarms, where it turns
-// the scan into O(n) expected work). All storage is reused across
-// calls so a steady-state collision pass allocates nothing.
+// the scan into O(n) expected work). The cell hash is the shared
+// spatial.Grid, which the comms range bus reuses for its range
+// queries. All storage is reused across calls so a steady-state
+// collision pass allocates nothing.
 
 // collideGridMin is the swarm size at which the spatial hash becomes
 // worth its bookkeeping; below it the brute-force scan is faster.
 const collideGridMin = 24
 
 type droneCollider struct {
-	// Open-addressed cell table (power-of-two size, linear probing):
-	// keys[s] is the packed cell coordinate claimed by slot s, head[s]
-	// the first body index in that cell (-1 = empty slot), and next[i]
-	// chains bodies sharing a cell.
-	keys []uint64
-	head []int32
-	next []int32
+	grid spatial.Grid
 }
 
 // collide finds this tick's drone-drone collisions: it marks the
@@ -65,22 +61,6 @@ func collideBrute(bodies []Body, threshold float64, pairs [][2]int) [][2]int {
 	return pairs
 }
 
-// cellKey packs the 2D cell coordinates of p (cell side = threshold)
-// into one map key. Cells are 2D because flocking missions fly at
-// near-constant altitude; 3D distance is still what the candidate
-// check uses, so a vertically-spread swarm only costs extra candidate
-// checks, never correctness.
-func cellKey(x, y, inv float64) uint64 {
-	cx := int32(math.Floor(x * inv))
-	cy := int32(math.Floor(y * inv))
-	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
-}
-
-func hashCell(k uint64) uint64 {
-	k *= 0x9E3779B97F4A7C15
-	return k ^ (k >> 29)
-}
-
 // collideGrid is the spatial-hash path. It produces exactly the same
 // crashes and pair list as collideBrute: for each i ascending it
 // gathers candidates from the 3×3 neighbourhood of i's cell and picks
@@ -88,23 +68,7 @@ func hashCell(k uint64) uint64 {
 // scan's first-hit-then-break inner loop selects.
 func (c *droneCollider) collideGrid(bodies []Body, threshold float64, pairs [][2]int) [][2]int {
 	n := len(bodies)
-	size := 1
-	for size < 2*n {
-		size <<= 1
-	}
-	if len(c.head) < size {
-		c.keys = make([]uint64, size)
-		c.head = make([]int32, size)
-	}
-	if len(c.next) < n {
-		c.next = make([]int32, n)
-	}
-	keys, head := c.keys[:size], c.head[:size]
-	for s := range head {
-		head[s] = -1
-	}
-	mask := uint64(size - 1)
-	inv := 1 / threshold
+	c.grid.Reset(n, threshold)
 
 	// Insert every active body into its cell's chain. Crashes that
 	// happen during the query pass below are filtered there, matching
@@ -113,34 +77,19 @@ func (c *droneCollider) collideGrid(bodies []Body, threshold float64, pairs [][2
 		if bodies[i].Crashed {
 			continue
 		}
-		key := cellKey(bodies[i].Pos.X, bodies[i].Pos.Y, inv)
-		s := hashCell(key) & mask
-		for head[s] != -1 && keys[s] != key {
-			s = (s + 1) & mask
-		}
-		keys[s] = key
-		c.next[i] = head[s]
-		head[s] = int32(i)
+		c.grid.Insert(i, bodies[i].Pos.X, bodies[i].Pos.Y)
 	}
 
 	for i := 0; i < n; i++ {
 		if bodies[i].Crashed {
 			continue
 		}
-		cx := int32(math.Floor(bodies[i].Pos.X * inv))
-		cy := int32(math.Floor(bodies[i].Pos.Y * inv))
+		cx := c.grid.Cell(bodies[i].Pos.X)
+		cy := c.grid.Cell(bodies[i].Pos.Y)
 		minJ := -1
 		for dx := int32(-1); dx <= 1; dx++ {
 			for dy := int32(-1); dy <= 1; dy++ {
-				key := uint64(uint32(cx+dx))<<32 | uint64(uint32(cy+dy))
-				s := hashCell(key) & mask
-				for head[s] != -1 && keys[s] != key {
-					s = (s + 1) & mask
-				}
-				if head[s] == -1 {
-					continue
-				}
-				for j := head[s]; j != -1; j = c.next[j] {
+				for j := c.grid.Head(cx+dx, cy+dy); j != -1; j = c.grid.Next(j) {
 					jj := int(j)
 					if jj <= i || bodies[jj].Crashed {
 						continue

@@ -1,0 +1,140 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+
+	"swarmfuzz/internal/rng"
+)
+
+// bruteNeighbors returns the indices within radius of point i (2-D),
+// excluding i itself.
+func bruteNeighbors(xs, ys []float64, i int, radius float64) map[int]bool {
+	out := map[int]bool{}
+	for j := range xs {
+		if j == i {
+			continue
+		}
+		if math.Hypot(xs[i]-xs[j], ys[i]-ys[j]) <= radius {
+			out[j] = true
+		}
+	}
+	return out
+}
+
+// TestGridCoversRadius is the grid's core guarantee: for random point
+// sets and radii, every point within the cell side of a query point is
+// found in the 3×3 neighbourhood of the query's cell.
+func TestGridCoversRadius(t *testing.T) {
+	src := rng.New(7)
+	var g Grid
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + int(src.Uniform(0, 120))
+		radius := src.Uniform(0.5, 40)
+		span := src.Uniform(1, 300)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Uniform(-span, span)
+			ys[i] = src.Uniform(-span, span)
+		}
+		g.Reset(n, radius)
+		for i := range xs {
+			g.Insert(i, xs[i], ys[i])
+		}
+		for i := range xs {
+			want := bruteNeighbors(xs, ys, i, radius)
+			got := map[int]bool{}
+			cx, cy := g.Cell(xs[i]), g.Cell(ys[i])
+			for dx := int32(-1); dx <= 1; dx++ {
+				for dy := int32(-1); dy <= 1; dy++ {
+					for j := g.Head(cx+dx, cy+dy); j != -1; j = g.Next(j) {
+						if int(j) == i {
+							continue
+						}
+						if math.Hypot(xs[i]-xs[j], ys[i]-ys[j]) <= radius {
+							got[int(j)] = true
+						}
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d point %d: grid found %d neighbours, brute %d", trial, i, len(got), len(want))
+			}
+			for j := range want {
+				if !got[j] {
+					t.Fatalf("trial %d point %d: neighbour %d missed by grid", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestGridChainOrder pins the LIFO chain contract callers rely on for
+// deterministic iteration: the head is the most recently inserted item
+// of the cell, chained down to the first.
+func TestGridChainOrder(t *testing.T) {
+	var g Grid
+	g.Reset(4, 10)
+	for i := 0; i < 4; i++ {
+		g.Insert(i, 1, 1) // all in one cell
+	}
+	var order []int32
+	for j := g.Head(g.Cell(1), g.Cell(1)); j != -1; j = g.Next(j) {
+		order = append(order, j)
+	}
+	want := []int32{3, 2, 1, 0}
+	if len(order) != len(want) {
+		t.Fatalf("chain %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("chain %v, want %v", order, want)
+		}
+	}
+}
+
+// TestGridReuse checks that a grid shrinks and regrows across Reset
+// generations without leaking stale chains.
+func TestGridReuse(t *testing.T) {
+	var g Grid
+	g.Reset(64, 5)
+	for i := 0; i < 64; i++ {
+		g.Insert(i, float64(i), 0)
+	}
+	// Smaller generation: old entries must be invisible.
+	g.Reset(2, 5)
+	g.Insert(0, 100, 100)
+	if h := g.Head(g.Cell(0), g.Cell(0)); h != -1 {
+		t.Fatalf("stale chain survived Reset: head %d", h)
+	}
+	if h := g.Head(g.Cell(100), g.Cell(100)); h != 0 {
+		t.Fatalf("fresh insert not found: head %d", h)
+	}
+}
+
+// TestGridZeroAllocSteadyState pins the no-allocation contract of a
+// warm Reset/Insert/query cycle.
+func TestGridZeroAllocSteadyState(t *testing.T) {
+	var g Grid
+	const n = 50
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) * 1.7
+	}
+	cycle := func() {
+		g.Reset(n, 4)
+		for i := range xs {
+			g.Insert(i, xs[i], -xs[i])
+		}
+		for i := range xs {
+			for j := g.Head(g.Cell(xs[i]), g.Cell(-xs[i])); j != -1; j = g.Next(j) {
+				_ = j
+			}
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("warm grid cycle allocates %v objects/op, want 0", allocs)
+	}
+}
