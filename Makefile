@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race batch-equiv check metrics-lint serve-smoke chaos-smoke atlas-smoke bench bench-compare
+.PHONY: build vet test race batch-equiv check metrics-lint serve-smoke chaos-smoke atlas-smoke fabric-smoke bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -32,8 +32,9 @@ batch-equiv:
 # check is the CI gate: vet plus metric-name hygiene plus the batched
 # engine's bit-identity pins plus the full test suite under the race
 # detector (the campaign engine's worker pool and the serving daemon's
-# job queue must stay race-clean; `race` covers internal/serve too).
-check: build vet metrics-lint batch-equiv race
+# job queue must stay race-clean; `race` covers internal/serve too),
+# plus the multi-process fabric smoke.
+check: build vet metrics-lint batch-equiv race fabric-smoke
 
 # serve-smoke boots a real swarmfuzzd on an ephemeral port, submits a
 # tiny fuzz job through the CLI client, and asserts it finishes with a
@@ -54,6 +55,14 @@ chaos-smoke:
 # populated cell and whose XHTML page passes tools/xmlwf.
 atlas-smoke:
 	./scripts/atlas-smoke.sh
+
+# fabric-smoke proves the distributed campaign fabric with real
+# processes: a grid sharded across a coordinator and two workers — one
+# kill -9ed mid-grid — must produce artifacts byte-identical to a
+# single-node run, and resubmitting the identical spec must be served
+# from the content-addressed result cache without re-simulating.
+fabric-smoke:
+	./scripts/fabric-smoke.sh
 
 # bench smoke-runs every benchmark once and leaves two records behind:
 # BENCH_telemetry.json holds the telemetry pipeline's throughput

@@ -6,7 +6,9 @@
 //
 // Usage:
 //
-//	swarmfuzzd serve  -addr 127.0.0.1:7077 -store ./swarmfuzzd-data -workers 4
+//	swarmfuzzd serve      -addr 127.0.0.1:7077 -store ./swarmfuzzd-data -workers 4
+//	swarmfuzzd coordinate -addr 127.0.0.1:7077 -store ./swarmfuzzd-data -lease-ttl 15s
+//	swarmfuzzd work       -coordinator http://127.0.0.1:7077 -id worker-a
 //	swarmfuzzd submit -addr 127.0.0.1:7077 -kind fuzz -n 5 -seed 3 -dist 10 -wait
 //	swarmfuzzd submit -addr 127.0.0.1:7077 -kind campaign -n 5 -dist 10 -missions 50
 //	swarmfuzzd status -addr 127.0.0.1:7077 [job-id]
@@ -24,6 +26,12 @@
 // are cancelled back into the queue, and everything still queued
 // resumes when the daemon restarts on the same store. A second signal
 // kills the process.
+//
+// `coordinate` is `serve` plus the distributed campaign fabric: grid
+// jobs shard cell-by-cell across `work` daemons over a lease protocol
+// (POST /fabric/v1/lease|heartbeat|complete|fail), and a
+// content-addressed result cache under the store serves repeat
+// submissions — from any client — without re-simulating.
 package main
 
 import (
@@ -36,12 +44,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"swarmfuzz/internal/chaos"
+	"swarmfuzz/internal/fabric"
 	"swarmfuzz/internal/serve"
 	"swarmfuzz/internal/serve/client"
 	"swarmfuzz/internal/telemetry"
@@ -60,7 +70,11 @@ func main() {
 	var err error
 	switch cmd {
 	case "serve":
-		err = runServe(ctx, args, log)
+		err = runServe(ctx, args, log, false)
+	case "coordinate":
+		err = runServe(ctx, args, log, true)
+	case "work":
+		err = runWork(ctx, args, log)
 	case "submit":
 		err = runSubmit(ctx, args, log)
 	case "status":
@@ -78,10 +92,10 @@ func main() {
 	case "top":
 		err = runTop(ctx, args)
 	case "help", "-h", "--help":
-		fmt.Println("usage: swarmfuzzd serve|submit|status|wait|cancel|stats|trace|atlas|top [flags]")
+		fmt.Println("usage: swarmfuzzd serve|coordinate|work|submit|status|wait|cancel|stats|trace|atlas|top [flags]")
 		return
 	default:
-		err = fmt.Errorf("unknown subcommand %q (want serve|submit|status|wait|cancel|stats|trace|atlas|top)", cmd)
+		err = fmt.Errorf("unknown subcommand %q (want serve|coordinate|work|submit|status|wait|cancel|stats|trace|atlas|top)", cmd)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -109,9 +123,15 @@ func withInterrupt(parent context.Context, log *telemetry.Logger) (context.Conte
 	return ctx, func() { signal.Stop(ch); cancel() }
 }
 
-// runServe is the daemon proper.
-func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err error) {
-	fs := flag.NewFlagSet("swarmfuzzd serve", flag.ContinueOnError)
+// runServe is the daemon proper. With coordinate set it also mounts
+// the fabric coordinator (grid cells shard across `swarmfuzzd work`
+// daemons) and defaults the result cache on under the store.
+func runServe(ctx context.Context, args []string, log *telemetry.Logger, coordinate bool) (err error) {
+	name := "serve"
+	if coordinate {
+		name = "coordinate"
+	}
+	fs := flag.NewFlagSet("swarmfuzzd "+name, flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
 		addrFile = fs.String("addr-file", "", "write the bound address to this `file` once listening")
@@ -123,6 +143,15 @@ func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err er
 		ttl      = fs.Duration("job-ttl", 0, "garbage-collect finished jobs this long after completion (0 = keep forever)")
 		gcEvery  = fs.Duration("gc-interval", time.Minute, "TTL sweep period")
 		chaosCfg = fs.String("chaos", "", "chaos spec `file`: inject the fault schedule into store IO and job stall points (testing only)")
+	)
+	cacheHelp := "content-addressed result cache `dir` (empty = disabled)"
+	if coordinate {
+		cacheHelp = "content-addressed result cache `dir` (empty = <store>/cache, \"off\" = disabled)"
+	}
+	var (
+		cacheDir      = fs.String("cache-dir", "", cacheHelp)
+		leaseTTL      = fs.Duration("lease-ttl", 15*time.Second, "fabric lease lifetime between worker heartbeats (coordinate only)")
+		leaseAttempts = fs.Int("lease-attempts", 3, "lease grants per grid cell before the job fails transient (coordinate only)")
 	)
 	tf := telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -147,6 +176,26 @@ func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err er
 		injector = chaos.New(spec, tel.Rec, log)
 		log.Warnf("chaos harness armed: %d fault rule(s) from %s (seed %d)", len(spec.Faults), *chaosCfg, spec.Seed)
 	}
+	var coord *fabric.Coordinator
+	if coordinate {
+		coord = fabric.NewCoordinator(fabric.Options{
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *leaseAttempts,
+			Telemetry:   tel.Rec,
+			Log:         log,
+		})
+	}
+	var cache *fabric.Cache
+	dir := *cacheDir
+	if coordinate && dir == "" {
+		dir = filepath.Join(*store, "cache")
+	}
+	if dir != "" && dir != "off" {
+		if cache, err = fabric.OpenCache(dir, log); err != nil {
+			return err
+		}
+		log.Infof("result cache at %s", dir)
+	}
 	engine, err := serve.NewEngine(serve.Options{
 		Store:        *store,
 		Workers:      *workers,
@@ -155,6 +204,8 @@ func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err er
 		JobTTL:       *ttl,
 		GCInterval:   *gcEvery,
 		Chaos:        injector,
+		Fabric:       coord,
+		Cache:        cache,
 		Telemetry:    tel.Rec,
 		Log:          log,
 	})
@@ -175,6 +226,10 @@ func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err er
 		}
 	}
 	log.Infof("swarmfuzzd listening on http://%s (store %s)", bound, *store)
+	if coordinate {
+		log.Infof("fabric coordinator up: lease ttl %v, %d attempts/cell — attach workers with `swarmfuzzd work -coordinator http://%s`",
+			*leaseTTL, *leaseAttempts, bound)
+	}
 
 	// The engine runs under the background context: interrupt-driven
 	// shutdown goes through Drain so in-flight jobs keep their grace
@@ -195,6 +250,56 @@ func runServe(ctx context.Context, args []string, log *telemetry.Logger) (err er
 	defer cancel()
 	_ = srv.Shutdown(shutdownCtx)
 	log.Infof("swarmfuzzd stopped; queued jobs resume on next start")
+	return nil
+}
+
+// runWork is the fabric worker daemon: it polls a coordinator for
+// leased grid cells, computes each through the same campaign pipeline
+// a single-node daemon runs, and streams results back. Losing a lease
+// (missed heartbeats, coordinator restart) abandons the cell silently —
+// the coordinator has already re-assigned it.
+func runWork(ctx context.Context, args []string, log *telemetry.Logger) (err error) {
+	fs := flag.NewFlagSet("swarmfuzzd work", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base `url` (required), e.g. http://127.0.0.1:7077")
+		id          = fs.String("id", "", "worker id reported to the coordinator (default host-pid)")
+		poll        = fs.Duration("poll", 500*time.Millisecond, "idle delay between lease requests")
+	)
+	tf := telemetry.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordinator == "" {
+		return errors.New("work: -coordinator is required")
+	}
+	tel, err := tf.Start(log)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	w, err := fabric.NewWorker(fabric.WorkerOptions{
+		Coordinator: *coordinator,
+		ID:          *id,
+		Poll:        *poll,
+		Run: serve.CellRunner(serve.CellRunnerOptions{
+			Telemetry: tel.Rec,
+			Log:       log,
+		}),
+		Telemetry: tel.Rec,
+		Log:       log,
+	})
+	if err != nil {
+		return err
+	}
+	log.Infof("fabric worker %s polling %s", w.ID(), *coordinator)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	log.Infof("fabric worker %s stopped", w.ID())
 	return nil
 }
 

@@ -199,6 +199,39 @@ func TestReadAtlasErrors(t *testing.T) {
 	}
 }
 
+// TestReadAtlasTornTail pins crash tolerance: a kill mid-append tears
+// at most the artifact's final line, and the intact prefix must stay
+// readable — while corruption with lines after it (provably not a torn
+// tail) still fails the parse.
+func TestReadAtlasTornTail(t *testing.T) {
+	prefix := `{"type":"atlas","version":1,"fuzzer":"T"}` + "\n" +
+		`{"type":"mission","seed":7}` + "\n"
+	for name, tail := range map[string]string{
+		"mid-json":   `{"type":"mission","se`,
+		"mid-json-n": `{"type":"mission","se` + "\n",
+		"garbage":    "\x00\x00\x00",
+	} {
+		doc, err := ReadAtlas(strings.NewReader(prefix + tail))
+		if err != nil {
+			t.Errorf("%s torn tail: %v", name, err)
+			continue
+		}
+		if len(doc.Missions) != 1 || doc.Missions[0].Mission.Seed != 7 {
+			t.Errorf("%s torn tail dropped the intact prefix: %+v", name, doc.Missions)
+		}
+	}
+
+	// A malformed line with a successor is mid-file corruption, not a
+	// torn tail.
+	_, err := ReadAtlas(strings.NewReader(
+		`{"type":"atlas","version":1,"fuzzer":"T"}` + "\n" +
+			"not json\n" +
+			`{"type":"mission","seed":7}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("mid-file corruption: err = %v, want line 2 parse error", err)
+	}
+}
+
 // TestRenderXHTMLWellFormed builds a grid-shaped artifact and asserts
 // the rendered page parses with a strict XML decoder.
 func TestRenderXHTMLWellFormed(t *testing.T) {

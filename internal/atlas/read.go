@@ -35,7 +35,12 @@ type MissionDoc struct {
 
 // ReadAtlas parses a JSONL atlas artifact. Records of unknown type are
 // skipped so newer writers stay readable; a missing or malformed
-// header is an error, as is an artifact with no records at all.
+// header is an error, as is an artifact with no records at all. A
+// malformed *final* line is dropped instead of erroring: a crash or
+// kill mid-append tears at most the last record, and the intact prefix
+// stays readable — the same tolerance the event-log and trace readers
+// give their tails. A line with a successor was provably written whole,
+// so mid-file corruption still fails the parse.
 func ReadAtlas(r io.Reader) (*Doc, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
@@ -43,36 +48,30 @@ func ReadAtlas(r io.Reader) (*Doc, error) {
 	sawHeader := false
 	var cell *CellDoc
 	var mission *MissionDoc
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	parse := func(raw []byte, line int) error {
 		var probe struct {
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(raw, &probe); err != nil {
-			return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+			return fmt.Errorf("atlas: line %d: %w", line, err)
 		}
 		switch probe.Type {
 		case TypeHeader:
 			if err := json.Unmarshal(raw, &doc.Header); err != nil {
-				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+				return fmt.Errorf("atlas: line %d: %w", line, err)
 			}
 			sawHeader = true
 		case TypeCell:
 			cell = &CellDoc{}
 			if err := json.Unmarshal(raw, &cell.Cell); err != nil {
-				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+				return fmt.Errorf("atlas: line %d: %w", line, err)
 			}
 			doc.Cells = append(doc.Cells, cell)
 			mission = nil
 		case TypeMission:
 			mission = &MissionDoc{}
 			if err := json.Unmarshal(raw, &mission.Mission); err != nil {
-				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+				return fmt.Errorf("atlas: line %d: %w", line, err)
 			}
 			if cell != nil {
 				cell.Missions = append(cell.Missions, mission)
@@ -82,7 +81,7 @@ func ReadAtlas(r io.Reader) (*Doc, error) {
 		case TypeSeed:
 			var rec SeedRecord
 			if err := json.Unmarshal(raw, &rec); err != nil {
-				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+				return fmt.Errorf("atlas: line %d: %w", line, err)
 			}
 			if mission != nil {
 				mission.Seeds = append(mission.Seeds, rec)
@@ -90,7 +89,7 @@ func ReadAtlas(r io.Reader) (*Doc, error) {
 		case TypeMissionEnd:
 			var rec MissionEndRecord
 			if err := json.Unmarshal(raw, &rec); err != nil {
-				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+				return fmt.Errorf("atlas: line %d: %w", line, err)
 			}
 			if mission != nil {
 				mission.End = &rec
@@ -99,7 +98,7 @@ func ReadAtlas(r io.Reader) (*Doc, error) {
 		case TypeCellEnd:
 			var rec CellEndRecord
 			if err := json.Unmarshal(raw, &rec); err != nil {
-				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+				return fmt.Errorf("atlas: line %d: %w", line, err)
 			}
 			if cell != nil {
 				cell.End = &rec
@@ -109,15 +108,39 @@ func ReadAtlas(r io.Reader) (*Doc, error) {
 		case TypeAtlasEnd:
 			var rec AtlasEndRecord
 			if err := json.Unmarshal(raw, &rec); err != nil {
-				return nil, fmt.Errorf("atlas: line %d: %w", line, err)
+				return fmt.Errorf("atlas: line %d: %w", line, err)
 			}
 			doc.End = &rec
 		default:
 			// Unknown record type: skip for forward compatibility.
 		}
+		return nil
+	}
+
+	// One-line lookahead: a line is only parsed once a successor proves
+	// it was written whole; the final line's parse error is the torn
+	// tail, dropped.
+	var pending []byte
+	pendingLine, line := 0, 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if pending != nil {
+			if err := parse(pending, pendingLine); err != nil {
+				return nil, err
+			}
+		}
+		pending = append(pending[:0], raw...)
+		pendingLine = line
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("atlas: read: %w", err)
+	}
+	if pending != nil {
+		_ = parse(pending, pendingLine) // torn trailing record: keep the prefix
 	}
 	if line == 0 {
 		return nil, errors.New("atlas: empty artifact")

@@ -61,26 +61,7 @@ func buildCellFragment(swarmSize int, spoofDistance float64, missionStreams [][]
 // writeCellFragment atomically persists a cell's fragment into the
 // checkpoint directory (temp file + rename, like SaveCheckpoint).
 func writeCellFragment(dir string, swarmSize int, spoofDistance float64, data []byte) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("experiments: atlas fragment dir: %w", err)
-	}
-	final := filepath.Join(dir, atlasFragmentFile(swarmSize, spoofDistance))
-	tmp, err := os.CreateTemp(dir, "atlas_*.tmp")
-	if err != nil {
-		return fmt.Errorf("experiments: atlas fragment temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("experiments: write atlas fragment: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("experiments: write atlas fragment: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		return fmt.Errorf("experiments: commit atlas fragment: %w", err)
-	}
-	return nil
+	return writeFileAtomic(dir, atlasFragmentFile(swarmSize, spoofDistance), data, "atlas fragment")
 }
 
 // readCellFragment loads a resumed cell's persisted fragment. The

@@ -20,33 +20,59 @@ func checkpointFile(swarmSize int, spoofDistance float64) string {
 	return fmt.Sprintf("cell_n%d_d%g.json", swarmSize, spoofDistance)
 }
 
-// SaveCheckpoint atomically persists a completed cell into dir,
-// creating the directory as needed.
-func SaveCheckpoint(dir string, cell *CampaignResult) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("experiments: checkpoint dir: %w", err)
-	}
+// EncodeCell renders a cell in the checkpoint encoding — the exact
+// bytes SaveCheckpoint persists. The fabric ships cells between
+// machines in this encoding so an imported cell is indistinguishable
+// from a locally checkpointed one.
+func EncodeCell(cell *CampaignResult) ([]byte, error) {
 	data, err := json.MarshalIndent(cell, "", "  ")
 	if err != nil {
-		return fmt.Errorf("experiments: encode checkpoint: %w", err)
+		return nil, fmt.Errorf("experiments: encode checkpoint: %w", err)
 	}
-	final := filepath.Join(dir, checkpointFile(cell.SwarmSize, cell.SpoofDistance))
+	return data, nil
+}
+
+// writeFileAtomic persists data as dir/name via a temp file in dir and
+// an atomic rename, creating dir as needed. what labels errors
+// ("checkpoint", "atlas fragment", ...).
+func writeFileAtomic(dir, name string, data []byte, what string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %s dir: %w", what, err)
+	}
 	tmp, err := os.CreateTemp(dir, "cell_*.tmp")
 	if err != nil {
-		return fmt.Errorf("experiments: checkpoint temp file: %w", err)
+		return fmt.Errorf("experiments: %s temp file: %w", what, err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return fmt.Errorf("experiments: write checkpoint: %w", err)
+		return fmt.Errorf("experiments: write %s: %w", what, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("experiments: write checkpoint: %w", err)
+		return fmt.Errorf("experiments: write %s: %w", what, err)
 	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		return fmt.Errorf("experiments: commit checkpoint: %w", err)
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("experiments: commit %s: %w", what, err)
 	}
 	return nil
+}
+
+// SaveCheckpoint atomically persists a completed cell into dir,
+// creating the directory as needed.
+func SaveCheckpoint(dir string, cell *CampaignResult) error {
+	data, err := EncodeCell(cell)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(dir, checkpointFile(cell.SwarmSize, cell.SpoofDistance), data, "checkpoint")
+}
+
+// HasCheckpoint reports whether dir already holds the cell's
+// checkpoint file. Fabric coordinators use it to enumerate the cells a
+// resumed grid job still owes.
+func HasCheckpoint(dir string, swarmSize int, spoofDistance float64) bool {
+	_, err := os.Stat(filepath.Join(dir, checkpointFile(swarmSize, spoofDistance)))
+	return err == nil
 }
 
 // LoadCheckpoint returns the persisted cell for the given

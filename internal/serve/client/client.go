@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"swarmfuzz/internal/fabric"
 	"swarmfuzz/internal/robust"
 	"swarmfuzz/internal/serve"
 	"swarmfuzz/internal/telemetry"
@@ -225,6 +226,15 @@ func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
 func (c *Client) Stats(ctx context.Context) (serve.FleetStats, error) {
 	var st serve.FleetStats
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// FabricStatus returns the coordinator's fabric status: live workers,
+// pending/leased cell units and the lease counters. Only daemons
+// started with `swarmfuzzd coordinate` serve it.
+func (c *Client) FabricStatus(ctx context.Context) (fabric.Status, error) {
+	var st fabric.Status
+	err := c.do(ctx, http.MethodGet, "/fabric/v1/status", nil, &st)
 	return st, err
 }
 

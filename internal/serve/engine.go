@@ -14,6 +14,7 @@ import (
 	"swarmfuzz/internal/atlas"
 	"swarmfuzz/internal/chaos"
 	"swarmfuzz/internal/experiments"
+	"swarmfuzz/internal/fabric"
 	"swarmfuzz/internal/flightlog"
 	flreport "swarmfuzz/internal/flightlog/report"
 	"swarmfuzz/internal/flock"
@@ -155,6 +156,16 @@ type Options struct {
 	// Flock carries the swarm-control parameters jobs run under; the
 	// zero value means flock.DefaultParams.
 	Flock *flock.Params
+	// Fabric, when non-nil, is the distributed campaign coordinator:
+	// grid jobs shard cell-by-cell across attached worker daemons
+	// whenever at least one worker is live, falling back to local
+	// execution otherwise. Mount its endpoints via NewServer.
+	Fabric *fabric.Coordinator
+	// Cache, when non-nil, is the fleet-wide content-addressed result
+	// cache: a submission whose CacheKey is already stored settles
+	// done instantly with the cached report, and completed cacheable
+	// jobs populate it.
+	Cache *fabric.Cache
 	// Telemetry receives engine gauges and every job's pipeline
 	// counters; nil disables recording.
 	Telemetry telemetry.Recorder
@@ -252,6 +263,11 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	for _, name := range robustnessCounters {
 		e.rec.Add(name, 0)
+	}
+	if opts.Cache != nil {
+		for _, name := range cacheCounters {
+			e.rec.Add(name, 0)
+		}
 	}
 	e.cond = sync.NewCond(&e.mu)
 	if err := e.reload(); err != nil {
@@ -475,6 +491,10 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	if e.draining {
 		e.mu.Unlock()
 		return JobStatus{}, ErrDraining
+	}
+	if st, hit, err := e.cacheLookup(spec); hit || err != nil {
+		// cacheLookup released the lock on a hit or a hit-path error.
+		return st, err
 	}
 	if len(e.queue) >= e.opts.Backlog {
 		e.mu.Unlock()
@@ -894,6 +914,9 @@ func (e *Engine) settle(id string, j *job, report []byte, err error, wall time.D
 	if state.Terminal() {
 		j.hub.close()
 	}
+	if state == StateDone && !degraded && e.opts.Cache != nil && j.spec.Cacheable() {
+		e.storeCacheEntry(id, j.spec, report)
+	}
 	switch {
 	case state == StateDone:
 		e.log.Infof("job %s: done in %.2fs", id, wall.Seconds())
@@ -1019,6 +1042,14 @@ func (e *Engine) runCampaign(ctx context.Context, id string, spec JobSpec, fuzze
 	}
 	if spec.Atlas {
 		cfg.AtlasPath = e.store.AtlasPath(id)
+	}
+	if spec.Kind == KindGrid && e.opts.Fabric != nil {
+		// Shard unfinished cells across the fleet; imported cells land
+		// as checkpoints, and the Grid below resumes them (recomputing
+		// locally whatever the fabric failed to deliver).
+		if err := e.runFabric(ctx, id, spec, cfg, rec); err != nil {
+			return nil, err
+		}
 	}
 	cells, err := experiments.Grid(ctx, cfg, fuzzer)
 	if err != nil {

@@ -123,6 +123,11 @@ func (s *JobSpec) Normalize() {
 			s.BaseSeed = 1
 		}
 	}
+	// BatchSize 0 and 1 both mean the sequential mission scan;
+	// canonicalise so equivalent specs hash identically.
+	if s.BatchSize == 1 {
+		s.BatchSize = 0
+	}
 }
 
 // Validate reports why the spec is unusable. resolve maps fuzzer names
@@ -178,13 +183,42 @@ func (s JobSpec) Validate(resolve func(string) (fuzz.Fuzzer, error)) error {
 	return nil
 }
 
-// Hash returns a short stable digest of the spec (including its
-// idempotency key), recorded in the job status so a client can verify
-// which spec a deduplicated resubmission matched.
+// Hash returns a short stable digest of the normalized spec (including
+// its idempotency key), recorded in the job status so a client can
+// verify which spec a deduplicated resubmission matched. Hashing the
+// normalized form makes default-filled and explicitly-defaulted specs
+// indistinguishable: omitting "fuzzer" hashes like "swarmfuzz",
+// omitting "seed" on a fuzz job like seed 1, batch 1 like batch 0.
 func (s JobSpec) Hash() string {
+	s.Normalize() // value receiver: normalizes a private copy
 	data, _ := json.Marshal(s)
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:8])
+}
+
+// CacheKey is the spec's content address in the fleet-wide result
+// cache: a full SHA-256 over the normalized spec with identity and
+// execution-only knobs cleared. Two submissions that must produce
+// byte-identical reports — regardless of who submitted them
+// (IdempotencyKey) and of how the work is parallelised (Workers,
+// SeedWorkers, BatchSize are all pinned byte-identity-invariant) —
+// map to the same key.
+func (s JobSpec) CacheKey() string {
+	s.Normalize()
+	s.IdempotencyKey = ""
+	s.Workers, s.SeedWorkers, s.BatchSize = 0, 0, 0
+	data, _ := json.Marshal(s)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cacheable reports whether the spec's result may be served from (and
+// stored into) the content-addressed cache. Flight logs and
+// post-mortems live outside the report document, and a per-mission
+// wall-clock deadline makes outcomes load-dependent, so those specs
+// always execute.
+func (s JobSpec) Cacheable() bool {
+	return !s.Flightlog && !s.Postmortem && s.MissionTimeoutSec == 0
 }
 
 // MissionTimeout returns the spec's deadline as a duration.
@@ -258,6 +292,9 @@ type JobStatus struct {
 	// even after retries; the daemon serves it from memory until
 	// restart.
 	IODegraded bool `json:"io_degraded,omitempty"`
+	// CacheHit marks a done job whose report was served from the
+	// fleet-wide result cache: no simulation ran for this submission.
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Error is why the job failed (meaningful when State is failed).
 	Error string `json:"error,omitempty"`
 	// Attempts counts executions started, including re-queues after

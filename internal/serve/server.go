@@ -57,6 +57,11 @@ func NewServer(e *Engine, reg *telemetry.Registry) http.Handler {
 		mux = http.NewServeMux()
 	}
 	s := &server{engine: e, reg: reg}
+	if e.opts.Fabric != nil {
+		// A coordinating daemon serves the fabric lease protocol on the
+		// same mux as the job API.
+		e.opts.Fabric.Register(mux)
+	}
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
